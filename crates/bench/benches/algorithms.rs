@@ -1,0 +1,66 @@
+//! Figures 10(a)/10(b)/11 — ERA against WaveFront, B²ST, Trellis and Ukkonen.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use era_bench::{make_disk_store, run_algorithm, Algorithm};
+use era_workloads::{DatasetKind, DatasetSpec};
+
+fn bench_algorithms_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10a_algorithms_vs_memory");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    let size = 24usize << 10;
+    let spec = DatasetSpec::new(DatasetKind::GenomeLike, size, 13);
+    let store = make_disk_store(&spec);
+    for &budget in &[48usize << 10, 96 << 10] {
+        for alg in [Algorithm::Era, Algorithm::WaveFront, Algorithm::B2st, Algorithm::Trellis] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.label(), format!("{}KB", budget >> 10)),
+                &budget,
+                |b, &budget| {
+                    b.iter(|| run_algorithm(alg, &store, budget).expect("construction"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_algorithms_alphabet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_alphabets");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    let size = 24usize << 10;
+    let budget = 48usize << 10;
+    for (kind, name) in [
+        (DatasetKind::UniformDna, "dna"),
+        (DatasetKind::Protein, "protein"),
+        (DatasetKind::English, "english"),
+    ] {
+        let spec = DatasetSpec::new(kind, size, 23);
+        let store = make_disk_store(&spec);
+        for alg in [Algorithm::Era, Algorithm::WaveFront] {
+            group.bench_with_input(BenchmarkId::new(alg.label(), name), &budget, |b, &budget| {
+                b.iter(|| run_algorithm(alg, &store, budget).expect("construction"));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_in_memory_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("in_memory_reference");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let size = 48usize << 10;
+    let spec = DatasetSpec::new(DatasetKind::GenomeLike, size, 41);
+    let store = make_disk_store(&spec);
+    group.bench_function("ukkonen", |b| {
+        b.iter(|| run_algorithm(Algorithm::Ukkonen, &store, 0).expect("construction"));
+    });
+    group.bench_function("era", |b| {
+        b.iter(|| run_algorithm(Algorithm::Era, &store, 96 << 10).expect("construction"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms_memory, bench_algorithms_alphabet, bench_in_memory_reference);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 9(b) — elastic range vs static ranges of 16 and 32 symbols.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use era::{EraConfig, RangePolicy};
+use era_bench::make_disk_store;
+use era_workloads::{DatasetKind, DatasetSpec};
+
+fn bench_range_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9b_elastic_range");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    let size = 32usize << 10;
+    let spec = DatasetSpec::new(DatasetKind::GenomeLike, size, 5);
+    let store = make_disk_store(&spec);
+    let budget = (size / 4).max(48 << 10);
+    for (name, policy) in [
+        ("elastic", RangePolicy::Elastic),
+        ("static-32", RangePolicy::Fixed(32)),
+        ("static-16", RangePolicy::Fixed(16)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, size >> 10), &size, |b, _| {
+            let config = EraConfig {
+                memory_budget: budget,
+                input_buffer_size: 16 << 10,
+                trie_area: 16 << 10,
+                range_policy: policy,
+                ..EraConfig::default()
+            };
+            b.iter(|| era::construct_serial(&store, &config).expect("construction"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_policy);
+criterion_main!(benches);

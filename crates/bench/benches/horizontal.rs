@@ -1,0 +1,26 @@
+//! Figure 7 — ERA-str vs ERA-str+mem (horizontal-partitioning variants).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use era_bench::{make_disk_store, run_algorithm, Algorithm};
+use era_workloads::{DatasetKind, DatasetSpec};
+
+fn bench_horizontal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_horizontal_variants");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    for &size in &[16usize << 10, 48 << 10] {
+        let spec = DatasetSpec::new(DatasetKind::UniformDna, size, 7);
+        let store = make_disk_store(&spec);
+        let budget = (size / 4).max(48 << 10);
+        for (name, alg) in [("era-str", Algorithm::EraStr), ("era-str+mem", Algorithm::Era)] {
+            group.bench_with_input(BenchmarkId::new(name, size >> 10), &size, |b, _| {
+                b.iter(|| run_algorithm(alg, &store, budget).expect("construction"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_horizontal);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 12 / Table 3 / Figure 13 — parallel construction.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use era::{construct_shared_nothing, SharedNothingOptions};
+use era_bench::{make_disk_store, run_algorithm, Algorithm};
+use era_string_store::DiskStore;
+use era_workloads::{alphabet_for, generate, DatasetKind, DatasetSpec};
+
+fn bench_shared_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_shared_memory_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    let size = 48usize << 10;
+    let spec = DatasetSpec::new(DatasetKind::GenomeLike, size, 29);
+    let store = make_disk_store(&spec);
+    let budget = 96usize << 10;
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("era", threads), &threads, |b, &t| {
+            b.iter(|| run_algorithm(Algorithm::EraParallel(t), &store, budget).expect("construction"));
+        });
+        group.bench_with_input(BenchmarkId::new("pwavefront", threads), &threads, |b, &t| {
+            b.iter(|| run_algorithm(Algorithm::PWaveFront(t), &store, budget).expect("construction"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_shared_nothing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_shared_nothing");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    let size = 48usize << 10;
+    let spec = DatasetSpec::new(DatasetKind::GenomeLike, size, 31);
+    let body = generate(&spec);
+    let dir = std::env::temp_dir().join(format!("era-bench-sn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("table3.era");
+    let mut text = body;
+    text.push(0);
+    std::fs::write(&path, &text).unwrap();
+    let alphabet = alphabet_for(spec.kind);
+    for &nodes in &[1usize, 2, 4] {
+        let stores: Vec<DiskStore> = (0..nodes)
+            .map(|_| DiskStore::open(&path, alphabet.clone(), 64 << 10).unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("era-sn", nodes), &nodes, |b, _| {
+            let config = era::EraConfig {
+                memory_budget: 96 << 10,
+                input_buffer_size: 16 << 10,
+                trie_area: 16 << 10,
+                ..era::EraConfig::default()
+            };
+            b.iter(|| {
+                construct_shared_nothing(&stores, &config, &SharedNothingOptions::default())
+                    .expect("construction")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shared_memory, bench_shared_nothing);
+criterion_main!(benches);

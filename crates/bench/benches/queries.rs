@@ -1,0 +1,33 @@
+//! Query micro-benchmarks over a built index (the operations §1 motivates:
+//! substring search in O(|P|), counting, longest repeated substring).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use era::SuffixIndex;
+use era_workloads::{generate, DatasetKind, DatasetSpec};
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queries");
+    group.sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    let spec = DatasetSpec::new(DatasetKind::GenomeLike, 64 << 10, 17);
+    let body = generate(&spec);
+    let index = SuffixIndex::builder().memory_budget(1 << 20).build_from_bytes(&body).unwrap();
+    let patterns: Vec<&[u8]> = vec![b"GATTACA", b"ACGT", b"TTTTTTTTTT", &body[1000..1032]];
+
+    for (i, pattern) in patterns.iter().enumerate() {
+        group.bench_with_input(BenchmarkId::new("find_all", i), pattern, |b, p| {
+            b.iter(|| index.find_all(p));
+        });
+        group.bench_with_input(BenchmarkId::new("count", i), pattern, |b, p| {
+            b.iter(|| index.count(p));
+        });
+    }
+    group.bench_function("longest_repeated_substring", |b| {
+        b.iter(|| index.longest_repeated_substring());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Substrate micro-benchmarks: suffix-array construction, LCP, and the batch
+//! tree assembly shared by ERA's `BuildSubTree` and B²ST.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use era_suffix_array::{lcp_kasai, suffix_array};
+use era_suffix_tree::assemble::assemble_from_sa_lcp;
+use era_workloads::{generate, DatasetKind, DatasetSpec};
+
+fn bench_suffix_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suffix_array_substrate");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    for &size in &[16usize << 10, 64 << 10] {
+        let spec = DatasetSpec::new(DatasetKind::GenomeLike, size, 43);
+        let mut text = generate(&spec);
+        text.push(0);
+        group.bench_with_input(BenchmarkId::new("suffix_array", size >> 10), &text, |b, t| {
+            b.iter(|| suffix_array(t));
+        });
+        let sa = suffix_array(&text);
+        group.bench_with_input(BenchmarkId::new("lcp_kasai", size >> 10), &text, |b, t| {
+            b.iter(|| lcp_kasai(t, &sa));
+        });
+        let lcp = lcp_kasai(&text, &sa);
+        group.bench_with_input(BenchmarkId::new("batch_assembly", size >> 10), &text, |b, t| {
+            b.iter(|| assemble_from_sa_lcp(t, &sa, &lcp));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suffix_array);
+criterion_main!(benches);

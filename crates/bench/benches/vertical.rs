@@ -1,0 +1,49 @@
+//! Figure 9(a) — effect of virtual-tree grouping, plus the cost of the
+//! vertical-partitioning phase itself.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use era::{vertical_partition, EraConfig};
+use era_bench::make_disk_store;
+use era_string_store::StringStore;
+use era_workloads::{DatasetKind, DatasetSpec};
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9a_virtual_trees");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    let size = 32usize << 10;
+    let spec = DatasetSpec::new(DatasetKind::UniformDna, size, 3);
+    let store = make_disk_store(&spec);
+    let budget = (size / 4).max(48 << 10);
+    for (name, grouping) in [("with-grouping", true), ("without-grouping", false)] {
+        group.bench_with_input(BenchmarkId::new(name, size >> 10), &size, |b, _| {
+            let config = EraConfig {
+                memory_budget: budget,
+                input_buffer_size: 16 << 10,
+                trie_area: 16 << 10,
+                group_virtual_trees: grouping,
+                ..EraConfig::default()
+            };
+            b.iter(|| era::construct_serial(&store, &config).expect("construction"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vertical_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertical_partitioning_phase");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let size = 64usize << 10;
+    let spec = DatasetSpec::new(DatasetKind::GenomeLike, size, 3);
+    let store = make_disk_store(&spec);
+    for &fm in &[256usize, 1024, 8192] {
+        group.bench_with_input(BenchmarkId::new("fm", fm), &fm, |b, &fm| {
+            b.iter(|| vertical_partition(&store as &dyn StringStore, fm, true).expect("partitioning"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping, bench_vertical_phase);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! # era-bench
+//!
+//! Benchmark harness that regenerates every table and figure of the ERA
+//! paper's evaluation (§6) at laptop scale.
+//!
+//! The paper runs on multi-GB genomes with GB memory budgets; this harness
+//! keeps every *ratio* the paper varies (string : memory, `|R|` : memory,
+//! threads, nodes) while scaling absolute sizes down to megabytes, so the
+//! comparisons finish in minutes. Absolute times therefore differ from the
+//! paper; the *shape* — which algorithm wins, by roughly what factor, where
+//! lines cross — is what `EXPERIMENTS.md` records and compares.
+//!
+//! Two entry points:
+//!
+//! * the `repro` binary (`cargo run --release -p era-bench --bin repro -- all`)
+//!   prints one Markdown table per experiment;
+//! * the Criterion benches (`cargo bench`) cover the same comparisons at
+//!   smaller sizes for regression tracking.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod runner;
+
+pub use experiments::{all_experiments, run_experiment, ExperimentResult, Row, Scale};
+pub use runner::{make_disk_store, run_algorithm, Algorithm};

@@ -1,0 +1,81 @@
+//! Error type for the `era` crate.
+
+use std::fmt;
+
+use era_string_store::StoreError;
+
+/// Result alias.
+pub type EraResult<T> = Result<T, EraError>;
+
+/// Errors produced by ERA construction or the index API.
+#[derive(Debug)]
+pub enum EraError {
+    /// Invalid configuration.
+    Config(String),
+    /// Error from the string storage layer.
+    Store(StoreError),
+    /// Invalid input (e.g. a generalized build with a separator clash).
+    Input(String),
+    /// I/O error while persisting or loading an index.
+    Io(std::io::Error),
+}
+
+impl EraError {
+    /// Creates a configuration error.
+    pub fn config(msg: impl Into<String>) -> Self {
+        EraError::Config(msg.into())
+    }
+
+    /// Creates an input error.
+    pub fn input(msg: impl Into<String>) -> Self {
+        EraError::Input(msg.into())
+    }
+}
+
+impl fmt::Display for EraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EraError::Config(m) => write!(f, "configuration error: {m}"),
+            EraError::Store(e) => write!(f, "storage error: {e}"),
+            EraError::Input(m) => write!(f, "input error: {m}"),
+            EraError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EraError::Store(e) => Some(e),
+            EraError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for EraError {
+    fn from(e: StoreError) -> Self {
+        EraError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for EraError {
+    fn from(e: std::io::Error) -> Self {
+        EraError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EraError::config("bad").to_string().contains("bad"));
+        assert!(EraError::input("oops").to_string().contains("oops"));
+        let store_err: EraError = StoreError::InvalidText("x".into()).into();
+        assert!(store_err.to_string().contains("storage"));
+        let io_err: EraError = std::io::Error::new(std::io::ErrorKind::Other, "disk").into();
+        assert!(io_err.to_string().contains("disk"));
+    }
+}

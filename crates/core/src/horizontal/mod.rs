@@ -1,0 +1,82 @@
+//! Horizontal partitioning (§4.2 of the paper).
+//!
+//! Both variants build the sub-tree of a S-prefix by reading the string in
+//! strictly sequential passes, fetching `range` symbols per still-active
+//! suffix and iteration:
+//!
+//! * [`branch_edge`] — ERA-str (§4.2.1): the tree is updated during every
+//!   scan (`ComputeSuffixSubTree` / iterative `BranchEdge`).
+//! * [`prepare`] — ERA-str+mem (§4.2.2): `SubTreePrepare` first derives the
+//!   `L`/`B` arrays with sequential memory access only, and
+//!   [`build::build_subtree`] then assembles the tree in batch.
+//!
+//! Sub-trees grouped into one virtual tree share every scan: the read requests
+//! of all member prefixes are merged into a single ascending stream.
+
+pub mod branch_edge;
+pub mod build;
+pub mod prepare;
+
+use crate::config::RangePolicy;
+
+/// Per-iteration context shared by both horizontal variants.
+#[derive(Debug, Clone, Copy)]
+pub struct HorizontalParams {
+    /// Capacity of the read-ahead buffer `R` in symbols.
+    pub r_capacity: usize,
+    /// Range policy (elastic or fixed).
+    pub range_policy: RangePolicy,
+    /// Lower bound on the range.
+    pub min_range: usize,
+    /// Whether to skip blocks that contain no needed symbol.
+    pub seek_optimization: bool,
+}
+
+impl HorizontalParams {
+    /// The range of symbols to prefetch for this iteration, given the number
+    /// of still-active suffixes across the whole virtual tree
+    /// (`range = |R| / |L'|`, §4.4).
+    pub fn range_for(&self, active: usize) -> usize {
+        match self.range_policy {
+            RangePolicy::Fixed(k) => k.max(1),
+            RangePolicy::Elastic => match self.r_capacity.checked_div(active) {
+                None => self.min_range.max(1),
+                Some(share) => share.max(self.min_range).max(1),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elastic_range_grows_as_areas_become_inactive() {
+        let params = HorizontalParams {
+            r_capacity: 1024,
+            range_policy: RangePolicy::Elastic,
+            min_range: 4,
+            seek_optimization: false,
+        };
+        assert_eq!(params.range_for(1024), 4); // clamped to min_range
+        assert_eq!(params.range_for(256), 4);
+        assert_eq!(params.range_for(64), 16);
+        assert_eq!(params.range_for(8), 128);
+        assert_eq!(params.range_for(1), 1024);
+        assert_eq!(params.range_for(0), 4);
+    }
+
+    #[test]
+    fn fixed_range_is_constant() {
+        let params = HorizontalParams {
+            r_capacity: 1024,
+            range_policy: RangePolicy::Fixed(16),
+            min_range: 4,
+            seek_optimization: false,
+        };
+        for active in [1usize, 10, 1000] {
+            assert_eq!(params.range_for(active), 16);
+        }
+    }
+}

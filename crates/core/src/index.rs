@@ -1,0 +1,328 @@
+//! The user-facing index API.
+//!
+//! [`SuffixIndex`] bundles the constructed [`PartitionedSuffixTree`] with the
+//! text (needed to resolve edge labels during queries) and the
+//! [`ConstructionReport`]. A builder chooses between the serial,
+//! shared-memory-parallel and disk-backed code paths.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use era_string_store::{Alphabet, DiskStore, InMemoryStore, StringStore, TERMINAL};
+use era_suffix_tree::PartitionedSuffixTree;
+
+use crate::config::{EraConfig, HorizontalMethod, RangePolicy};
+use crate::error::{EraError, EraResult};
+use crate::parallel_sm::construct_parallel_sm;
+use crate::report::ConstructionReport;
+use crate::serial::construct_serial;
+
+/// A queryable suffix-tree index over one string (or a generalized index over
+/// several strings).
+#[derive(Debug, Clone)]
+pub struct SuffixIndex {
+    text: Arc<Vec<u8>>,
+    tree: PartitionedSuffixTree,
+    report: ConstructionReport,
+    /// Positions of separator symbols for generalized indexes (empty for a
+    /// single string).
+    separators: Vec<usize>,
+}
+
+impl SuffixIndex {
+    /// Starts building an index with default configuration.
+    pub fn builder() -> SuffixIndexBuilder {
+        SuffixIndexBuilder::default()
+    }
+
+    /// The indexed text, including the trailing terminal symbol.
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// The underlying partitioned suffix tree.
+    pub fn tree(&self) -> &PartitionedSuffixTree {
+        &self.tree
+    }
+
+    /// The construction report (timings, I/O counters, tree statistics).
+    pub fn report(&self) -> &ConstructionReport {
+        &self.report
+    }
+
+    /// Whether `pattern` occurs in the text.
+    pub fn contains(&self, pattern: &[u8]) -> bool {
+        self.tree.contains(&self.text, pattern)
+    }
+
+    /// Number of occurrences of `pattern`.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        self.tree.count(&self.text, pattern)
+    }
+
+    /// All occurrence positions of `pattern`, ascending.
+    pub fn find_all(&self, pattern: &[u8]) -> Vec<usize> {
+        self.tree.find_all(&self.text, pattern).into_iter().map(|p| p as usize).collect()
+    }
+
+    /// The longest substring that occurs at least twice, as
+    /// `(offset, length)`.
+    pub fn longest_repeated_substring(&self) -> Option<(usize, usize)> {
+        self.tree
+            .longest_repeated_substring(&self.text)
+            .map(|(off, len)| (off as usize, len as usize))
+    }
+
+    /// The longest common substring of the two strings of a generalized index
+    /// built with [`SuffixIndexBuilder::build_generalized`] from exactly two
+    /// strings. Returns the substring itself.
+    pub fn longest_common_substring(&self) -> EraResult<Vec<u8>> {
+        let &[sep] = self.separators.as_slice() else {
+            return Err(EraError::input(
+                "longest_common_substring requires a generalized index over exactly two strings",
+            ));
+        };
+        let merged = self.tree.to_single_tree(&self.text);
+        Ok(match merged.longest_common_substring(&self.text, sep) {
+            Some((off, len)) => self.text[off as usize..(off + len) as usize].to_vec(),
+            None => Vec::new(),
+        })
+    }
+
+    /// The suffix array of the indexed text (lexicographically sorted suffix
+    /// offsets) — a by-product of the lexicographically ordered leaves.
+    pub fn suffix_array(&self) -> Vec<u32> {
+        self.tree.lexicographic_suffixes()
+    }
+
+    /// Saves the index (tree + text) into a directory.
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> EraResult<()> {
+        let dir = dir.as_ref();
+        self.tree.save_to_dir(dir)?;
+        std::fs::write(dir.join("text.era"), self.text.as_slice())?;
+        Ok(())
+    }
+
+    /// Loads an index previously written by [`Self::save_to_dir`].
+    pub fn load_from_dir(dir: impl AsRef<Path>) -> EraResult<SuffixIndex> {
+        let dir = dir.as_ref();
+        let tree = PartitionedSuffixTree::load_from_dir(dir)?;
+        let text = std::fs::read(dir.join("text.era"))?;
+        Ok(SuffixIndex {
+            text: Arc::new(text),
+            tree,
+            report: ConstructionReport::default(),
+            separators: Vec::new(),
+        })
+    }
+}
+
+/// Builder for [`SuffixIndex`].
+#[derive(Debug, Clone, Default)]
+pub struct SuffixIndexBuilder {
+    config: EraConfig,
+}
+
+impl SuffixIndexBuilder {
+    /// Sets the total memory budget in bytes.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.config.memory_budget = bytes;
+        self
+    }
+
+    /// Sets the size of the read-ahead buffer `R` in bytes.
+    pub fn r_buffer_size(mut self, bytes: usize) -> Self {
+        self.config.r_buffer_size = Some(bytes);
+        self
+    }
+
+    /// Sets the number of worker threads (1 = serial).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Chooses the range policy (elastic by default).
+    pub fn range_policy(mut self, policy: RangePolicy) -> Self {
+        self.config.range_policy = policy;
+        self
+    }
+
+    /// Chooses the horizontal-partitioning variant (ERA-str+mem by default).
+    pub fn horizontal_method(mut self, method: HorizontalMethod) -> Self {
+        self.config.horizontal = method;
+        self
+    }
+
+    /// Enables or disables virtual-tree grouping.
+    pub fn group_virtual_trees(mut self, enabled: bool) -> Self {
+        self.config.group_virtual_trees = enabled;
+        self
+    }
+
+    /// Enables or disables the disk-seek optimisation.
+    pub fn seek_optimization(mut self, enabled: bool) -> Self {
+        self.config.seek_optimization = enabled;
+        self
+    }
+
+    /// Uses a fully custom configuration.
+    pub fn config(mut self, config: EraConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Returns the effective configuration.
+    pub fn peek_config(&self) -> &EraConfig {
+        &self.config
+    }
+
+    /// Builds the index over an in-memory string (the terminal is appended;
+    /// the alphabet is inferred).
+    pub fn build_from_bytes(self, body: &[u8]) -> EraResult<SuffixIndex> {
+        let store = InMemoryStore::from_body_inferred(body)?;
+        self.build_from_store(&store, Vec::new())
+    }
+
+    /// Builds the index over an in-memory string with an explicit alphabet.
+    pub fn build_from_bytes_with_alphabet(
+        self,
+        body: &[u8],
+        alphabet: Alphabet,
+    ) -> EraResult<SuffixIndex> {
+        let store = InMemoryStore::from_body(body, alphabet)?;
+        self.build_from_store(&store, Vec::new())
+    }
+
+    /// Builds the index over a string stored in a file (disk-based
+    /// construction: the file is only read through block-sized sequential
+    /// scans). The file must already be terminated with the byte `0`.
+    pub fn build_from_path(self, path: impl AsRef<Path>, alphabet: Alphabet) -> EraResult<SuffixIndex> {
+        let store = DiskStore::open(path, alphabet, self.config.input_buffer_size.max(4 << 10))?;
+        self.build_from_store(&store, Vec::new())
+    }
+
+    /// Builds a generalized index over several strings.
+    ///
+    /// The strings are concatenated with a separator symbol that must not
+    /// occur in any of them (byte `1`); the usual suffix-tree identities for
+    /// generalized indexes then apply (longest common substring etc.).
+    pub fn build_generalized(self, strings: &[&[u8]]) -> EraResult<SuffixIndex> {
+        if strings.is_empty() {
+            return Err(EraError::input("need at least one string"));
+        }
+        const SEP: u8 = 1;
+        for s in strings {
+            if s.contains(&SEP) || s.contains(&TERMINAL) {
+                return Err(EraError::input(
+                    "input strings must not contain the separator (1) or terminal (0) bytes",
+                ));
+            }
+        }
+        let mut body = Vec::with_capacity(strings.iter().map(|s| s.len() + 1).sum());
+        let mut separators = Vec::new();
+        for (i, s) in strings.iter().enumerate() {
+            body.extend_from_slice(s);
+            if i + 1 < strings.len() {
+                separators.push(body.len());
+                body.push(SEP);
+            }
+        }
+        let store = InMemoryStore::from_body_inferred(&body)?;
+        self.build_from_store(&store, separators)
+    }
+
+    /// Builds the index over any [`StringStore`].
+    pub fn build_from_store<S: StringStore>(
+        self,
+        store: &S,
+        separators: Vec<usize>,
+    ) -> EraResult<SuffixIndex> {
+        let (tree, report) = if self.config.threads > 1 {
+            construct_parallel_sm(store, &self.config)?
+        } else {
+            construct_serial(store, &self.config)?
+        };
+        let text = store.read_all()?;
+        Ok(SuffixIndex { text: Arc::new(text), tree, report, separators })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_queries() {
+        let text = b"TGGTGGTGGTGCGGTGATGGTGC";
+        let index = SuffixIndex::builder()
+            .memory_budget(1 << 20)
+            .build_from_bytes(text)
+            .unwrap();
+        assert_eq!(index.count(b"TG"), 7);
+        assert_eq!(index.find_all(b"TGC"), vec![9, 20]);
+        assert!(index.contains(b"GGTGATG"));
+        assert!(!index.contains(b"AAA"));
+        assert_eq!(index.suffix_array().len(), text.len() + 1);
+        assert!(index.report().elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn longest_repeated_substring() {
+        let index = SuffixIndex::builder().build_from_bytes(b"mississippi").unwrap();
+        let (off, len) = index.longest_repeated_substring().unwrap();
+        assert_eq!(&index.text()[off..off + len], b"issi");
+    }
+
+    #[test]
+    fn generalized_lcs() {
+        let a = b"the quick brown fox".to_vec();
+        let b = b"a quick brown dog".to_vec();
+        let index = SuffixIndex::builder()
+            .build_generalized(&[&a, &b])
+            .unwrap();
+        let lcs = index.longest_common_substring().unwrap();
+        assert_eq!(lcs, b" quick brown ");
+    }
+
+    #[test]
+    fn generalized_rejects_bad_input() {
+        assert!(SuffixIndex::builder().build_generalized(&[]).is_err());
+        let with_sep = vec![b'a', 1u8, b'b'];
+        assert!(SuffixIndex::builder().build_generalized(&[&with_sep]).is_err());
+        let single = b"abc".to_vec();
+        let idx = SuffixIndex::builder().build_generalized(&[&single]).unwrap();
+        assert!(idx.longest_common_substring().is_err());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("era-index-{}", std::process::id()));
+        let index = SuffixIndex::builder().build_from_bytes(b"abracadabra").unwrap();
+        index.save_to_dir(&dir).unwrap();
+        let loaded = SuffixIndex::load_from_dir(&dir).unwrap();
+        assert_eq!(loaded.find_all(b"abra"), index.find_all(b"abra"));
+        assert_eq!(loaded.count(b"a"), index.count(b"a"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn builder_knobs_are_applied() {
+        let builder = SuffixIndex::builder()
+            .memory_budget(123)
+            .r_buffer_size(77)
+            .threads(3)
+            .range_policy(RangePolicy::Fixed(9))
+            .horizontal_method(HorizontalMethod::StringOnly)
+            .group_virtual_trees(false)
+            .seek_optimization(false);
+        let cfg = builder.peek_config();
+        assert_eq!(cfg.memory_budget, 123);
+        assert_eq!(cfg.r_buffer_size, Some(77));
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.range_policy, RangePolicy::Fixed(9));
+        assert_eq!(cfg.horizontal, HorizontalMethod::StringOnly);
+        assert!(!cfg.group_virtual_trees);
+        assert!(!cfg.seek_optimization);
+    }
+}

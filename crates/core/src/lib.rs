@@ -1,0 +1,68 @@
+//! # era — Elastic Range suffix-tree construction
+//!
+//! A reproduction of **"ERA: Efficient Serial and Parallel Suffix Tree
+//! Construction for Very Long Strings"** (Mansour, Allam, Skiadopoulos,
+//! Kalnis — PVLDB 5(1), 2011).
+//!
+//! ERA builds the suffix tree of a string that may be far larger than the
+//! available memory. It divides the problem *vertically* into sub-trees that
+//! fit in memory (grouping them into virtual trees to share I/O) and
+//! *horizontally* into elastic level-ranges that are filled with strictly
+//! sequential passes over the string; the sub-tree itself is assembled in
+//! batch from two flat arrays, so memory access stays sequential too.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use era::SuffixIndex;
+//!
+//! let text = b"TGGTGGTGGTGCGGTGATGGTGC".to_vec();
+//! let index = SuffixIndex::builder()
+//!     .memory_budget(1 << 20)
+//!     .build_from_bytes(&text)
+//!     .expect("construction succeeds");
+//!
+//! assert_eq!(index.count(b"TG"), 7);            // Table 1 of the paper
+//! assert_eq!(index.find_all(b"TGC"), vec![9, 20]);
+//! let (offset, len) = index.longest_repeated_substring().unwrap();
+//! assert_eq!(len, 8);                           // e.g. "TGGTGGTG" at 0 and 3
+//! assert!(index.count(&text[offset..offset + len]) >= 2);
+//! ```
+//!
+//! ## Crate layout
+//!
+//! * [`config`] — every knob the paper evaluates (memory budget, `|R|`,
+//!   elastic vs static range, grouping, seek optimisation, threads).
+//! * [`vertical`] — variable-length prefix partitioning + virtual trees (§4.1).
+//! * [`horizontal`] — `SubTreePrepare`/`BuildSubTree` and the ERA-str variant
+//!   (§4.2), including the elastic range (§4.4).
+//! * [`serial`], [`parallel_sm`], [`parallel_sn`] — the serial driver and the
+//!   two parallel drivers of §5 (shared-memory/shared-disk and shared-nothing).
+//! * [`SuffixIndex`] — the user-facing API combining construction and queries.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod error;
+pub mod horizontal;
+pub mod index;
+pub mod parallel_sm;
+pub mod parallel_sn;
+pub mod report;
+pub mod scan;
+pub mod serial;
+pub mod vertical;
+
+pub use config::{EraConfig, HorizontalMethod, MemoryLayout, RangePolicy};
+pub use error::{EraError, EraResult};
+pub use index::{SuffixIndex, SuffixIndexBuilder};
+pub use parallel_sm::construct_parallel_sm;
+pub use parallel_sn::{construct_shared_nothing, SharedNothingOptions};
+pub use report::{ConstructionReport, NodeReport};
+pub use serial::construct_serial;
+pub use vertical::{vertical_partition, PrefixFrequency, VerticalPartitioning, VirtualTree};
+
+// Re-export the building blocks users commonly need alongside the index.
+pub use era_string_store as string_store;
+pub use era_suffix_tree as suffix_tree;

@@ -1,0 +1,131 @@
+//! Streaming helpers over the string store.
+//!
+//! Vertical partitioning (§4.1) and the occurrence-collection step of
+//! horizontal partitioning both need one strictly sequential pass over `S`
+//! looking at a sliding window of a few symbols. These helpers stream the
+//! string block by block through the store (so the pass is I/O-accounted) and
+//! never hold more than one block plus the window tail in memory.
+
+use era_string_store::{StoreResult, StringStore};
+
+/// Calls `f(position, window)` for every position `0..store.len()`, where
+/// `window` is the next `window_len` symbols starting at `position` (clamped
+/// at the end of the string). Performs exactly one sequential scan.
+pub fn for_each_window<F>(
+    store: &dyn StringStore,
+    window_len: usize,
+    mut f: F,
+) -> StoreResult<()>
+where
+    F: FnMut(usize, &[u8]),
+{
+    assert!(window_len > 0, "window length must be positive");
+    let len = store.len();
+    store.stats().add_full_scan();
+    let chunk = store.block_size().max(window_len);
+    let mut buf: Vec<u8> = Vec::with_capacity(chunk + window_len);
+    let mut buf_start = 0usize; // text position of buf[0]
+    let mut pos = 0usize;
+    let mut read_to = 0usize; // text position up to which we have read
+
+    while pos < len {
+        // Ensure the buffer covers [pos, pos + window_len) or up to the end.
+        let want_end = (pos + window_len).min(len);
+        if want_end > read_to {
+            let fetch_end = (pos + chunk).min(len).max(want_end);
+            let mut chunk_buf = vec![0u8; fetch_end - read_to];
+            let got = store.read_at(read_to, &mut chunk_buf)?;
+            chunk_buf.truncate(got);
+            buf.extend_from_slice(&chunk_buf);
+            read_to += got;
+        }
+        // Drop the part of the buffer we no longer need.
+        if pos > buf_start + chunk {
+            buf.drain(..pos - buf_start);
+            buf_start = pos;
+        }
+        let lo = pos - buf_start;
+        let hi = (want_end - buf_start).min(buf.len());
+        f(pos, &buf[lo..hi]);
+        pos += 1;
+    }
+    Ok(())
+}
+
+/// Collects the positions of every occurrence of each `pattern` in the store,
+/// in string order, using a single sequential scan.
+pub fn collect_occurrences(
+    store: &dyn StringStore,
+    patterns: &[Vec<u8>],
+) -> StoreResult<Vec<Vec<u32>>> {
+    let max_len = patterns.iter().map(|p| p.len()).max().unwrap_or(0);
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); patterns.len()];
+    if max_len == 0 {
+        return Ok(out);
+    }
+    for_each_window(store, max_len, |pos, window| {
+        for (i, p) in patterns.iter().enumerate() {
+            if window.len() >= p.len() && &window[..p.len()] == p.as_slice() {
+                out[i].push(pos as u32);
+            }
+        }
+    })?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use era_string_store::InMemoryStore;
+
+    fn store(body: &[u8]) -> InMemoryStore {
+        InMemoryStore::from_body_inferred(body).unwrap().with_block_size(8).unwrap()
+    }
+
+    #[test]
+    fn windows_cover_whole_string() {
+        let body = b"abcdefghijklmnopqrstuvwxyz";
+        let s = store(body);
+        let mut seen = Vec::new();
+        for_each_window(&s, 3, |pos, w| seen.push((pos, w.to_vec()))).unwrap();
+        assert_eq!(seen.len(), 27); // including terminal position
+        assert_eq!(seen[0], (0, b"abc".to_vec()));
+        assert_eq!(seen[24], (24, vec![b'y', b'z', 0]));
+        assert_eq!(seen[26], (26, vec![0]));
+        // Exactly one scan, and close to one pass worth of bytes.
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.full_scans, 1);
+        assert!(snap.bytes_read as usize <= body.len() + 1 + 8);
+    }
+
+    #[test]
+    fn occurrences_match_naive_search() {
+        let body = b"TGGTGGTGGTGCGGTGATGGTGC";
+        let s = store(body);
+        let patterns = vec![b"TG".to_vec(), b"TGG".to_vec(), b"GGTG".to_vec(), b"XX".to_vec()];
+        let occ = collect_occurrences(&s, &patterns).unwrap();
+        let text: Vec<u8> = { let mut t = body.to_vec(); t.push(0); t };
+        for (i, p) in patterns.iter().enumerate() {
+            let expected: Vec<u32> = (0..text.len())
+                .filter(|&j| text[j..].starts_with(p.as_slice()))
+                .map(|j| j as u32)
+                .collect();
+            assert_eq!(occ[i], expected, "pattern {:?}", String::from_utf8_lossy(p));
+        }
+        assert_eq!(occ[0], vec![0, 3, 6, 9, 14, 17, 20]); // Table 1 of the paper
+    }
+
+    #[test]
+    fn terminal_pattern() {
+        let s = store(b"abcabc");
+        let occ = collect_occurrences(&s, &[vec![0u8]]).unwrap();
+        assert_eq!(occ[0], vec![6]);
+    }
+
+    #[test]
+    fn empty_pattern_list() {
+        let s = store(b"abc");
+        let occ = collect_occurrences(&s, &[]).unwrap();
+        assert!(occ.is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! The serial construction driver (§4).
+//!
+//! Pipeline: vertical partitioning → for every virtual tree: collect the
+//! occurrences of its prefixes (one scan), run horizontal partitioning
+//! (`SubTreePrepare` + `BuildSubTree`, or the ERA-str variant), and collect
+//! the finished sub-trees into a [`PartitionedSuffixTree`].
+
+use std::time::Instant;
+
+use era_string_store::StringStore;
+use era_suffix_tree::{Partition, PartitionedSuffixTree};
+
+use crate::config::{EraConfig, HorizontalMethod};
+use crate::error::EraResult;
+use crate::horizontal::branch_edge::compute_group_str;
+use crate::horizontal::build::build_partition;
+use crate::horizontal::prepare::prepare_group;
+use crate::horizontal::HorizontalParams;
+use crate::report::ConstructionReport;
+use crate::scan::collect_occurrences;
+use crate::vertical::{vertical_partition, VerticalPartitioning, VirtualTree};
+
+/// Builds the suffix tree of the string in `store` with the serial version of
+/// ERA, returning the partitioned tree and a construction report.
+pub fn construct_serial(
+    store: &dyn StringStore,
+    config: &EraConfig,
+) -> EraResult<(PartitionedSuffixTree, ConstructionReport)> {
+    config.validate()?;
+    let layout = config.memory_layout(store.alphabet())?;
+    let start_all = Instant::now();
+    let io_start = store.stats().snapshot();
+
+    // --- Vertical partitioning (§4.1). ---
+    let t0 = Instant::now();
+    let vertical = vertical_partition(store, layout.fm, config.group_virtual_trees)?;
+    let vertical_time = t0.elapsed();
+
+    // --- Horizontal partitioning (§4.2), group by group. ---
+    let params = HorizontalParams {
+        r_capacity: layout.r_bytes,
+        range_policy: config.range_policy,
+        min_range: config.min_range,
+        seek_optimization: config.seek_optimization,
+    };
+    let t1 = Instant::now();
+    let mut partitions: Vec<Partition> = Vec::with_capacity(vertical.partition_count());
+    for group in &vertical.groups {
+        partitions.extend(build_group(store, group, &params, config.horizontal)?);
+    }
+    let horizontal_time = t1.elapsed();
+
+    let tree = PartitionedSuffixTree::new(store.len(), partitions);
+    let report = make_report(
+        "era",
+        store,
+        config,
+        layout.fm,
+        &vertical,
+        &tree,
+        start_all.elapsed(),
+        vertical_time,
+        horizontal_time,
+        io_start,
+    );
+    Ok((tree, report))
+}
+
+/// Builds every sub-tree of one virtual tree (shared by the serial and the
+/// parallel drivers — each worker calls this for the groups it owns).
+pub(crate) fn build_group(
+    store: &dyn StringStore,
+    group: &VirtualTree,
+    params: &HorizontalParams,
+    method: HorizontalMethod,
+) -> EraResult<Vec<Partition>> {
+    let prefixes: Vec<Vec<u8>> = group.prefixes.iter().map(|p| p.prefix.clone()).collect();
+    // One sequential scan collects the occurrence lists of every prefix in the
+    // group (the leaves of each sub-tree, in string order).
+    let occurrences = collect_occurrences(store, &prefixes)?;
+    match method {
+        HorizontalMethod::StringAndMemory => {
+            let prepared = prepare_group(store, &prefixes, &occurrences, params)?;
+            Ok(prepared
+                .iter()
+                .filter(|p| !p.leaves.is_empty())
+                .map(|p| build_partition(store.len(), p))
+                .collect())
+        }
+        HorizontalMethod::StringOnly => {
+            let parts = compute_group_str(store, &prefixes, &occurrences, params)?;
+            Ok(parts.into_iter().filter(|p| p.tree.leaf_count() > 0).collect())
+        }
+    }
+}
+
+/// Assembles a [`ConstructionReport`] from the run's measurements.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn make_report(
+    algorithm: &str,
+    store: &dyn StringStore,
+    config: &EraConfig,
+    fm: usize,
+    vertical: &VerticalPartitioning,
+    tree: &PartitionedSuffixTree,
+    elapsed: std::time::Duration,
+    vertical_time: std::time::Duration,
+    horizontal_time: std::time::Duration,
+    io_start: era_string_store::IoSnapshot,
+) -> ConstructionReport {
+    ConstructionReport {
+        algorithm: algorithm.to_string(),
+        text_len: store.len(),
+        memory_budget: config.memory_budget,
+        fm,
+        elapsed,
+        vertical_time,
+        horizontal_time,
+        vertical_scans: vertical.scans,
+        partitions: vertical.partition_count(),
+        virtual_trees: vertical.group_count(),
+        io: store.stats().snapshot().since(&io_start),
+        tree: tree.stats(),
+        per_node: Vec::new(),
+        string_transfer: std::time::Duration::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RangePolicy;
+    use era_string_store::{Alphabet, InMemoryStore};
+    use era_suffix_tree::{naive_suffix_tree, validate_partitioned};
+
+    fn tiny_config(budget: usize) -> EraConfig {
+        EraConfig {
+            memory_budget: budget,
+            r_buffer_size: Some(256),
+            input_buffer_size: 64,
+            trie_area: 64,
+            tree_node_size: 48,
+            min_range: 2,
+            ..EraConfig::default()
+        }
+    }
+
+    fn check_against_reference(body: &[u8], config: &EraConfig) {
+        let store = InMemoryStore::from_body_inferred(body).unwrap().with_block_size(64).unwrap();
+        let text: Vec<u8> = {
+            let mut t = body.to_vec();
+            t.push(0);
+            t
+        };
+        let (tree, report) = construct_serial(&store, config).unwrap();
+        validate_partitioned(&tree, &text).unwrap();
+        let reference = naive_suffix_tree(&text);
+        assert_eq!(tree.lexicographic_suffixes(), reference.lexicographic_suffixes());
+        assert_eq!(tree.leaf_count(), text.len());
+        assert!(report.partitions >= 1);
+        assert!(report.virtual_trees <= report.partitions);
+        assert!(report.io.bytes_read > 0);
+        for pattern in [&b"GAT"[..], b"TTA", b"A", b"CAG", b"zzz"] {
+            let mut got = tree.find_all(&text, pattern);
+            let mut expected = reference.find_all(&text, pattern);
+            got.sort_unstable();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "pattern {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn paper_example_small_memory() {
+        // Small budget => FM small => deep vertical partitioning.
+        check_against_reference(b"TGGTGGTGGTGCGGTGATGGTGC", &tiny_config(4 << 10));
+    }
+
+    #[test]
+    fn dna_with_both_horizontal_methods() {
+        let body = b"GATTACAGATTACAGGATCCGATTACATTTTACAGAGATTACCA";
+        for method in [HorizontalMethod::StringAndMemory, HorizontalMethod::StringOnly] {
+            let config = EraConfig { horizontal: method, ..tiny_config(8 << 10) };
+            check_against_reference(body, &config);
+        }
+    }
+
+    #[test]
+    fn range_policies_agree() {
+        let body = b"GATTACAGATTACAGGATCCGATTACATTTTACAGAGATTACCAGATTACA";
+        for policy in [RangePolicy::Elastic, RangePolicy::Fixed(16), RangePolicy::Fixed(2)] {
+            let config = EraConfig { range_policy: policy, ..tiny_config(8 << 10) };
+            check_against_reference(body, &config);
+        }
+    }
+
+    #[test]
+    fn grouping_off_produces_same_tree_with_more_scans() {
+        let body = b"GATTACAGATTACAGGATCCGATTACATTTTACAGAGATTACCA";
+        let store_on = InMemoryStore::from_body(body, Alphabet::dna()).unwrap();
+        let store_off = InMemoryStore::from_body(body, Alphabet::dna()).unwrap();
+        let config_on = tiny_config(6 << 10);
+        let config_off = EraConfig { group_virtual_trees: false, ..config_on.clone() };
+        let (tree_on, rep_on) = construct_serial(&store_on, &config_on).unwrap();
+        let (tree_off, rep_off) = construct_serial(&store_off, &config_off).unwrap();
+        assert_eq!(tree_on.lexicographic_suffixes(), tree_off.lexicographic_suffixes());
+        assert!(rep_on.virtual_trees < rep_off.virtual_trees);
+        assert!(
+            rep_on.io.full_scans < rep_off.io.full_scans,
+            "grouping must save scans: {} vs {}",
+            rep_on.io.full_scans,
+            rep_off.io.full_scans
+        );
+    }
+
+    #[test]
+    fn protein_and_english_alphabets() {
+        let protein = b"MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQVKVKALPDAQFEVVHSLAKWKR"
+            .iter()
+            .map(|&b| if Alphabet::protein().contains(b) { b } else { b'A' })
+            .collect::<Vec<u8>>();
+        check_against_reference(&protein, &tiny_config(8 << 10));
+        check_against_reference(b"thequickbrownfoxjumpsoverthelazydogthequickbrownfox", &tiny_config(8 << 10));
+    }
+
+    #[test]
+    fn single_character_text() {
+        check_against_reference(b"A", &tiny_config(4 << 10));
+        check_against_reference(b"AAAAAAAAAAAAAAAAAAAAAAAA", &tiny_config(4 << 10));
+    }
+}

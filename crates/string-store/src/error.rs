@@ -1,0 +1,83 @@
+//! Error types shared by the storage backends.
+
+use std::fmt;
+use std::io;
+
+/// Convenient result alias used throughout the storage layer.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Errors produced by the string storage layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying file-system error.
+    Io(io::Error),
+    /// A read past the end of the stored string was requested.
+    OutOfBounds {
+        /// First byte requested.
+        pos: usize,
+        /// Number of bytes requested.
+        len: usize,
+        /// Total length of the stored string.
+        text_len: usize,
+    },
+    /// The input text violates a structural requirement (e.g. missing or
+    /// misplaced terminal symbol, symbol outside the declared alphabet).
+    InvalidText(String),
+    /// Configuration error (e.g. a zero block size).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::OutOfBounds { pos, len, text_len } => write!(
+                f,
+                "read of {len} bytes at position {pos} exceeds text length {text_len}"
+            ),
+            StoreError::InvalidText(msg) => write!(f, "invalid input text: {msg}"),
+            StoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = StoreError::OutOfBounds { pos: 10, len: 5, text_len: 12 };
+        let msg = e.to_string();
+        assert!(msg.contains("position 10"));
+        assert!(msg.contains("length 12"));
+    }
+
+    #[test]
+    fn display_io() {
+        let e = StoreError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_invalid() {
+        assert!(StoreError::InvalidText("no terminal".into()).to_string().contains("no terminal"));
+        assert!(StoreError::InvalidConfig("zero block".into()).to_string().contains("zero block"));
+    }
+}

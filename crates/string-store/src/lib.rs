@@ -1,0 +1,46 @@
+//! # era-string-store
+//!
+//! Block-based string storage substrate for the ERA suffix-tree reproduction
+//! (Mansour et al., PVLDB 2011).
+//!
+//! ERA and all baseline algorithms access the input string `S` through the
+//! [`StringStore`] trait so that every read is accounted for: the paper's
+//! evaluation is largely about *how* the string is accessed (sequential scans
+//! vs random seeks, number of complete scans, bytes fetched), and the I/O
+//! counters exposed by [`IoStats`] make those access patterns observable and
+//! deterministic even when the operating system page cache hides latency at
+//! laptop scale.
+//!
+//! The crate provides:
+//!
+//! * [`Alphabet`] — DNA, protein, English and custom alphabets, including the
+//!   bits-per-symbol packing used by the paper (2 bits for DNA, 5 bits for
+//!   protein/English).
+//! * [`InMemoryStore`] and [`DiskStore`] — the two backends. The disk backend
+//!   reads through a configurable block size and supports forward seeks that
+//!   skip blocks (the paper's disk-seek optimisation, §4.4).
+//! * [`SequentialScanner`] — a cursor for one sequential pass over the string
+//!   that serves ascending `(position, length)` requests from a block buffer,
+//!   optionally skipping blocks that contain no requested symbol.
+//! * [`IoStats`] / [`IoSnapshot`] — thread-safe I/O counters.
+//! * [`packed`] — 2-bit / 5-bit packed symbol encodings.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod alphabet;
+pub mod disk;
+pub mod error;
+pub mod memory;
+pub mod packed;
+pub mod scanner;
+pub mod stats;
+pub mod store;
+
+pub use alphabet::{Alphabet, AlphabetKind, TERMINAL};
+pub use disk::DiskStore;
+pub use error::{StoreError, StoreResult};
+pub use memory::InMemoryStore;
+pub use scanner::{ScanRequest, SequentialScanner};
+pub use stats::{IoSnapshot, IoStats};
+pub use store::StringStore;

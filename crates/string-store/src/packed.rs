@@ -1,0 +1,175 @@
+//! Packed symbol encodings.
+//!
+//! §6.1 of the paper encodes DNA with 2 bits per symbol and protein / English
+//! with 5 bits per symbol, which determines how much of the string fits in a
+//! given memory budget. [`PackedText`] reproduces that encoding; the memory
+//! planner in the `era` crate uses [`packed_size`] to budget the in-memory
+//! portion of the string.
+
+use crate::alphabet::{Alphabet, TERMINAL};
+use crate::error::{StoreError, StoreResult};
+
+/// Number of bytes needed to store `len` symbols at `bits` bits per symbol.
+pub fn packed_size(len: usize, bits: u32) -> usize {
+    ((len as u64 * bits as u64).div_ceil(8)) as usize
+}
+
+/// A bit-packed copy of a terminated input string.
+///
+/// Symbols are mapped to dense codes: the terminal gets code `0` and the `i`-th
+/// alphabet symbol gets code `i + 1`, so lexicographic order is preserved.
+#[derive(Debug, Clone)]
+pub struct PackedText {
+    bits: u32,
+    len: usize,
+    data: Vec<u8>,
+    /// code -> original byte
+    decode: Vec<u8>,
+}
+
+impl PackedText {
+    /// Packs `text` (which must be valid for `alphabet`).
+    pub fn pack(text: &[u8], alphabet: &Alphabet) -> StoreResult<Self> {
+        alphabet.validate(text)?;
+        let bits = alphabet.bits_per_symbol();
+        let mut encode = [u8::MAX; 256];
+        let mut decode = Vec::with_capacity(alphabet.len() + 1);
+        encode[TERMINAL as usize] = 0;
+        decode.push(TERMINAL);
+        for (i, &s) in alphabet.symbols().iter().enumerate() {
+            encode[s as usize] = (i + 1) as u8;
+            decode.push(s);
+        }
+        let mut data = vec![0u8; packed_size(text.len(), bits)];
+        for (i, &b) in text.iter().enumerate() {
+            let code = encode[b as usize];
+            if code == u8::MAX {
+                return Err(StoreError::InvalidText(format!("symbol {b:#04x} not in alphabet")));
+            }
+            write_code(&mut data, i, bits, code);
+        }
+        Ok(PackedText { bits, len: text.len(), data, decode })
+    }
+
+    /// Number of symbols stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the packed text is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits used per symbol.
+    pub fn bits_per_symbol(&self) -> u32 {
+        self.bits
+    }
+
+    /// Size of the packed payload in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns the symbol at position `i`.
+    pub fn get(&self, i: usize) -> Option<u8> {
+        if i >= self.len {
+            return None;
+        }
+        let code = read_code(&self.data, i, self.bits);
+        self.decode.get(code as usize).copied()
+    }
+
+    /// Unpacks the whole text.
+    pub fn unpack(&self) -> Vec<u8> {
+        (0..self.len).map(|i| self.get(i).expect("in range")).collect()
+    }
+}
+
+fn write_code(data: &mut [u8], index: usize, bits: u32, code: u8) {
+    let bit_pos = index as u64 * bits as u64;
+    for k in 0..bits as u64 {
+        let bit = (code >> k) & 1;
+        let p = bit_pos + k;
+        let byte = (p / 8) as usize;
+        let off = (p % 8) as u32;
+        if bit == 1 {
+            data[byte] |= 1 << off;
+        } else {
+            data[byte] &= !(1 << off);
+        }
+    }
+}
+
+fn read_code(data: &[u8], index: usize, bits: u32) -> u8 {
+    let bit_pos = index as u64 * bits as u64;
+    let mut code = 0u8;
+    for k in 0..bits as u64 {
+        let p = bit_pos + k;
+        let byte = (p / 8) as usize;
+        let off = (p % 8) as u32;
+        if (data[byte] >> off) & 1 == 1 {
+            code |= 1 << k;
+        }
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_size_matches_paper_ratios() {
+        // DNA: 4 symbols + terminal -> 3 bits here (the paper's 2-bit figure
+        // excludes the terminal; either way DNA packs far denser than protein).
+        assert_eq!(packed_size(8, 2), 2);
+        assert_eq!(packed_size(8, 5), 5);
+        assert_eq!(packed_size(0, 5), 0);
+    }
+
+    #[test]
+    fn roundtrip_dna() {
+        let a = Alphabet::dna();
+        let text = a.terminate(b"GATTACAGATTACA").unwrap();
+        let p = PackedText::pack(&text, &a).unwrap();
+        assert_eq!(p.unpack(), text);
+        assert_eq!(p.len(), text.len());
+        assert!(p.payload_bytes() < text.len());
+    }
+
+    #[test]
+    fn roundtrip_protein() {
+        let a = Alphabet::protein();
+        let text = a.terminate(b"ACDEFGHIKLMNPQRSTVWY").unwrap();
+        let p = PackedText::pack(&text, &a).unwrap();
+        assert_eq!(p.unpack(), text);
+        assert_eq!(p.bits_per_symbol(), 5);
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let a = Alphabet::dna();
+        let text = a.terminate(b"ACGT").unwrap();
+        let p = PackedText::pack(&text, &a).unwrap();
+        assert_eq!(p.get(4), Some(0));
+        assert_eq!(p.get(5), None);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn pack_rejects_foreign_symbols() {
+        let a = Alphabet::dna();
+        assert!(PackedText::pack(b"AXGT\0", &a).is_err());
+    }
+
+    #[test]
+    fn order_preserving_codes() {
+        let a = Alphabet::dna();
+        let text = a.terminate(b"ACGT").unwrap();
+        let p = PackedText::pack(&text, &a).unwrap();
+        // terminal < A < C < G < T in both packed and unpacked form
+        let codes: Vec<u8> = (0..5).map(|i| p.get(i).unwrap()).collect();
+        assert_eq!(codes, vec![b'A', b'C', b'G', b'T', 0]);
+    }
+}

@@ -1,0 +1,242 @@
+//! One sequential pass over the string with optional block skipping.
+//!
+//! [`SequentialScanner`] is the I/O primitive behind `SubTreePrepare` (§4.2.2)
+//! and the iterative `BranchEdge` (§4.2.1): during one iteration every active
+//! suffix requests the next `range` symbols, the requests are served in
+//! ascending position order, and — with the disk-seek optimisation of §4.4 —
+//! whole blocks that contain no requested symbol are skipped with a short
+//! forward seek instead of being read.
+
+use crate::error::{StoreError, StoreResult};
+use crate::store::StringStore;
+
+/// A single read request: `len` symbols starting at `pos`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanRequest {
+    /// Starting position in the string.
+    pub pos: usize,
+    /// Number of symbols requested (the returned slice is clamped at the end
+    /// of the string).
+    pub len: usize,
+}
+
+/// Serves ascending-position read requests from a sliding block-aligned
+/// window, counting sequential reads, skipped blocks and bytes.
+pub struct SequentialScanner<'a> {
+    store: &'a dyn StringStore,
+    skip_blocks: bool,
+    block: usize,
+    /// Window buffer holding bytes for positions `[win_start, win_end)`.
+    window: Vec<u8>,
+    win_start: usize,
+    win_end: usize,
+    /// Index of the block that would be read next if reading strictly
+    /// sequentially (used to classify skips).
+    next_block: usize,
+    last_pos: usize,
+}
+
+impl<'a> SequentialScanner<'a> {
+    /// Starts a new pass over `store`. Counts one full scan.
+    pub fn new(store: &'a dyn StringStore, skip_blocks: bool) -> Self {
+        store.stats().add_full_scan();
+        let block = store.block_size().max(1);
+        SequentialScanner {
+            store,
+            skip_blocks,
+            block,
+            window: Vec::new(),
+            win_start: 0,
+            win_end: 0,
+            next_block: 0,
+            last_pos: 0,
+        }
+    }
+
+    /// Reads `req.len` symbols at `req.pos` (clamped at end of string) into
+    /// `out`, which is cleared first.
+    ///
+    /// Requests must be issued with non-decreasing `pos`; violating that
+    /// returns [`StoreError::InvalidConfig`] so that algorithm bugs surface as
+    /// errors rather than silently degraded I/O accounting.
+    pub fn read(&mut self, req: ScanRequest, out: &mut Vec<u8>) -> StoreResult<()> {
+        out.clear();
+        let text_len = self.store.len();
+        if req.pos > text_len {
+            return Err(StoreError::OutOfBounds { pos: req.pos, len: req.len, text_len });
+        }
+        if req.pos < self.last_pos {
+            return Err(StoreError::InvalidConfig(format!(
+                "sequential scanner received a descending request: {} after {}",
+                req.pos, self.last_pos
+            )));
+        }
+        self.last_pos = req.pos;
+        let end = (req.pos + req.len).min(text_len);
+        if end <= req.pos {
+            return Ok(());
+        }
+        self.ensure_window(req.pos, end)?;
+        let lo = req.pos - self.win_start;
+        let hi = end - self.win_start;
+        out.extend_from_slice(&self.window[lo..hi]);
+        Ok(())
+    }
+
+    /// Convenience wrapper allocating the output vector.
+    pub fn read_vec(&mut self, pos: usize, len: usize) -> StoreResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(len);
+        self.read(ScanRequest { pos, len }, &mut out)?;
+        Ok(out)
+    }
+
+    /// Makes sure the window covers `[pos, end)`.
+    fn ensure_window(&mut self, pos: usize, end: usize) -> StoreResult<()> {
+        debug_assert!(end <= self.store.len());
+        // Drop the part of the window before the block containing `pos`:
+        // requests are ascending, so it will never be needed again.
+        let new_start = (pos / self.block) * self.block;
+        if new_start > self.win_start {
+            if new_start < self.win_end {
+                self.window.drain(..new_start - self.win_start);
+                self.win_start = new_start;
+            } else {
+                self.window.clear();
+                self.win_start = new_start;
+                self.win_end = new_start;
+            }
+        }
+        if self.win_end < self.win_start {
+            self.win_end = self.win_start;
+        }
+        if end <= self.win_end && pos >= self.win_start {
+            return Ok(());
+        }
+
+        // Extend the window block by block until it covers `end`.
+        let first_needed_block = self.win_end.max(self.win_start) / self.block;
+        let first_needed_block = first_needed_block.max(new_start / self.block);
+        let last_needed_block = (end - 1) / self.block;
+
+        // Handle the gap between the sequential cursor and the first block we
+        // actually need.
+        if first_needed_block > self.next_block {
+            let gap = first_needed_block - self.next_block;
+            if self.skip_blocks {
+                self.store.stats().add_blocks_skipped(gap as u64);
+            } else {
+                // Read-through: fetch and discard the gap blocks, mirroring the
+                // behaviour of WaveFront-style full scans.
+                let gap_start = self.next_block * self.block;
+                let gap_end = (first_needed_block * self.block).min(self.store.len());
+                if gap_end > gap_start {
+                    let mut sink = vec![0u8; gap_end - gap_start];
+                    self.store.read_at(gap_start, &mut sink)?;
+                }
+            }
+        }
+
+        let read_start = self.win_end.max(first_needed_block * self.block);
+        let read_end = ((last_needed_block + 1) * self.block).min(self.store.len());
+        if read_end > read_start {
+            let old_len = self.window.len();
+            self.window.resize(old_len + (read_end - read_start), 0);
+            let got = self.store.read_at(read_start, &mut self.window[old_len..])?;
+            self.window.truncate(old_len + got);
+            self.win_end = read_start + got;
+        }
+        self.next_block = last_needed_block + 1;
+        if end > self.win_end {
+            return Err(StoreError::OutOfBounds { pos, len: end - pos, text_len: self.store.len() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryStore;
+
+    fn store_with_block(body: &[u8], block: usize) -> InMemoryStore {
+        InMemoryStore::from_body_inferred(body).unwrap().with_block_size(block).unwrap()
+    }
+
+    #[test]
+    fn ascending_requests_read_correct_bytes() {
+        let body: Vec<u8> = (0..200).map(|i| b'a' + (i % 4) as u8).collect();
+        let store = store_with_block(&body, 16);
+        let mut sc = SequentialScanner::new(&store, false);
+        for pos in [0usize, 3, 10, 50, 120, 199] {
+            let got = sc.read_vec(pos, 7).unwrap();
+            let expect_end = (pos + 7).min(201);
+            let mut expect = body[pos..expect_end.min(200)].to_vec();
+            if expect_end > 200 {
+                expect.push(0);
+            }
+            assert_eq!(got, expect, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn descending_request_is_rejected() {
+        let store = store_with_block(b"abcdefgh", 4);
+        let mut sc = SequentialScanner::new(&store, false);
+        sc.read_vec(4, 2).unwrap();
+        assert!(sc.read_vec(1, 2).is_err());
+    }
+
+    #[test]
+    fn overlapping_requests_within_window() {
+        let body: Vec<u8> = (0..100).map(|i| b'a' + (i % 26) as u8).collect();
+        let store = store_with_block(&body, 8);
+        let mut sc = SequentialScanner::new(&store, false);
+        let a = sc.read_vec(10, 30).unwrap();
+        let b = sc.read_vec(12, 30).unwrap();
+        assert_eq!(a, body[10..40].to_vec());
+        assert_eq!(b, body[12..42].to_vec());
+    }
+
+    #[test]
+    fn skipping_counts_skipped_blocks() {
+        let body: Vec<u8> = (0..1000).map(|i| b'a' + (i % 4) as u8).collect();
+        let store = store_with_block(&body, 10);
+        let mut sc = SequentialScanner::new(&store, true);
+        sc.read_vec(0, 5).unwrap();
+        sc.read_vec(500, 5).unwrap(); // skips blocks 1..=49
+        let snap = store.stats().snapshot();
+        assert!(snap.blocks_skipped >= 45, "skipped {} blocks", snap.blocks_skipped);
+        // With skipping, far less than the whole string is read.
+        assert!(snap.bytes_read < 100);
+    }
+
+    #[test]
+    fn no_skip_reads_through_gap() {
+        let body: Vec<u8> = (0..1000).map(|i| b'a' + (i % 4) as u8).collect();
+        let store = store_with_block(&body, 10);
+        let mut sc = SequentialScanner::new(&store, false);
+        sc.read_vec(0, 5).unwrap();
+        sc.read_vec(500, 5).unwrap();
+        let snap = store.stats().snapshot();
+        assert_eq!(snap.blocks_skipped, 0);
+        assert!(snap.bytes_read >= 500, "read {} bytes", snap.bytes_read);
+    }
+
+    #[test]
+    fn scan_counter_increments_per_scanner() {
+        let store = store_with_block(b"abcabc", 4);
+        let _s1 = SequentialScanner::new(&store, false);
+        let _s2 = SequentialScanner::new(&store, true);
+        assert_eq!(store.stats().snapshot().full_scans, 2);
+    }
+
+    #[test]
+    fn read_clamps_at_terminal() {
+        let store = store_with_block(b"abc", 2);
+        let mut sc = SequentialScanner::new(&store, false);
+        let got = sc.read_vec(2, 10).unwrap();
+        assert_eq!(got, vec![b'c', 0]);
+        let empty = sc.read_vec(4, 10).unwrap();
+        assert!(empty.is_empty());
+    }
+}

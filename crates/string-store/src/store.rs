@@ -1,0 +1,144 @@
+//! The [`StringStore`] abstraction.
+
+use crate::alphabet::Alphabet;
+use crate::error::{StoreError, StoreResult};
+use crate::scanner::SequentialScanner;
+use crate::stats::IoStats;
+
+/// Read-only access to the input string `S` (terminated by the terminal
+/// symbol), with every access recorded in [`IoStats`].
+///
+/// Both ERA and the baselines are generic over this trait; the benchmarks use
+/// [`crate::DiskStore`] (real file, block reads) while most unit tests use
+/// [`crate::InMemoryStore`].
+pub trait StringStore: Send + Sync {
+    /// Total length of the stored string, *including* the terminal symbol.
+    fn len(&self) -> usize;
+
+    /// Whether the store is empty (never true for a valid input string).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The alphabet `Σ` of the stored string (terminal excluded).
+    fn alphabet(&self) -> &Alphabet;
+
+    /// The I/O block size in bytes.
+    fn block_size(&self) -> usize;
+
+    /// The I/O counters of this store.
+    fn stats(&self) -> &IoStats;
+
+    /// Reads up to `buf.len()` bytes starting at `pos`, returning how many
+    /// bytes were read (less than `buf.len()` only at end of string).
+    ///
+    /// Implementations record bytes/blocks read and classify the access as
+    /// sequential (continues exactly where the previous read ended) or as a
+    /// random seek.
+    fn read_at(&self, pos: usize, buf: &mut [u8]) -> StoreResult<usize>;
+
+    /// Reads exactly `len` bytes at `pos` into a fresh vector, clamping at the
+    /// end of the string (the returned vector may be shorter than `len`).
+    fn read_range(&self, pos: usize, len: usize) -> StoreResult<Vec<u8>> {
+        if pos > self.len() {
+            return Err(StoreError::OutOfBounds { pos, len, text_len: self.len() });
+        }
+        let take = len.min(self.len() - pos);
+        let mut buf = vec![0u8; take];
+        let got = self.read_at(pos, &mut buf)?;
+        buf.truncate(got);
+        Ok(buf)
+    }
+
+    /// Reads the entire string into memory (counts as one full scan).
+    fn read_all(&self) -> StoreResult<Vec<u8>> {
+        self.stats().add_full_scan();
+        self.read_range(0, self.len())
+    }
+
+    /// Starts one sequential pass over the string.
+    ///
+    /// `skip_blocks` enables the paper's disk-seek optimisation: blocks that
+    /// contain no requested symbol are skipped with a forward seek instead of
+    /// being read.
+    fn scanner(&self, skip_blocks: bool) -> SequentialScanner<'_>
+    where
+        Self: Sized,
+    {
+        SequentialScanner::new(self, skip_blocks)
+    }
+}
+
+/// Blanket helper: any `&T` where `T: StringStore` is also usable as a store.
+impl<T: StringStore + ?Sized> StringStore for &T {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn alphabet(&self) -> &Alphabet {
+        (**self).alphabet()
+    }
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+    fn stats(&self) -> &IoStats {
+        (**self).stats()
+    }
+    fn read_at(&self, pos: usize, buf: &mut [u8]) -> StoreResult<usize> {
+        (**self).read_at(pos, buf)
+    }
+}
+
+impl<T: StringStore + ?Sized> StringStore for std::sync::Arc<T> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn alphabet(&self) -> &Alphabet {
+        (**self).alphabet()
+    }
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+    fn stats(&self) -> &IoStats {
+        (**self).stats()
+    }
+    fn read_at(&self, pos: usize, buf: &mut [u8]) -> StoreResult<usize> {
+        (**self).read_at(pos, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryStore;
+
+    #[test]
+    fn read_range_clamps_at_end() {
+        let store = InMemoryStore::from_body(b"ACGT", Alphabet::dna()).unwrap();
+        let r = store.read_range(2, 10).unwrap();
+        assert_eq!(r, vec![b'G', b'T', 0]);
+    }
+
+    #[test]
+    fn read_range_rejects_past_end() {
+        let store = InMemoryStore::from_body(b"ACGT", Alphabet::dna()).unwrap();
+        assert!(store.read_range(6, 1).is_err());
+    }
+
+    #[test]
+    fn read_all_counts_scan() {
+        let store = InMemoryStore::from_body(b"ACGT", Alphabet::dna()).unwrap();
+        let all = store.read_all().unwrap();
+        assert_eq!(all.len(), 5);
+        assert_eq!(store.stats().snapshot().full_scans, 1);
+    }
+
+    #[test]
+    fn trait_objects_and_arcs_delegate() {
+        let store = std::sync::Arc::new(InMemoryStore::from_body(b"ACGT", Alphabet::dna()).unwrap());
+        let via_arc: &dyn StringStore = &store;
+        assert_eq!(via_arc.len(), 5);
+        assert_eq!(store.alphabet().len(), 4);
+        let r = store.read_range(0, 2).unwrap();
+        assert_eq!(r, b"AC");
+    }
+}

@@ -1,0 +1,80 @@
+//! Kasai's linear-time LCP construction.
+
+/// Computes the LCP array for `text` and its suffix array `sa`.
+///
+/// `lcp[i]` is the length of the longest common prefix of the suffixes
+/// `sa[i - 1]` and `sa[i]`; `lcp[0] == 0`.
+pub fn lcp_kasai(text: &[u8], sa: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    assert_eq!(sa.len(), n, "suffix array length must match the text");
+    let mut lcp = vec![0u32; n];
+    if n == 0 {
+        return lcp;
+    }
+    // rank[i] = position of suffix i in the suffix array.
+    let mut rank = vec![0u32; n];
+    for (pos, &s) in sa.iter().enumerate() {
+        rank[s as usize] = pos as u32;
+    }
+    let mut h = 0usize;
+    for i in 0..n {
+        let r = rank[i] as usize;
+        if r == 0 {
+            h = 0;
+            continue;
+        }
+        let j = sa[r - 1] as usize;
+        while i + h < n && j + h < n && text[i + h] == text[j + h] {
+            h += 1;
+        }
+        lcp[r] = h as u32;
+        h = h.saturating_sub(1);
+    }
+    lcp
+}
+
+/// Direct (quadratic) LCP computation for tests.
+pub fn lcp_naive(text: &[u8], sa: &[u32]) -> Vec<u32> {
+    let mut lcp = vec![0u32; sa.len()];
+    for i in 1..sa.len() {
+        let a = &text[sa[i - 1] as usize..];
+        let b = &text[sa[i] as usize..];
+        lcp[i] = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count() as u32;
+    }
+    lcp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sa::suffix_array;
+
+    #[test]
+    fn banana_lcp() {
+        let text = b"banana\0";
+        let sa = suffix_array(text);
+        // sa = [6,5,3,1,0,4,2]; lcp = [0,0,1,3,0,0,2]
+        assert_eq!(lcp_kasai(text, &sa), vec![0, 0, 1, 3, 0, 0, 2]);
+    }
+
+    #[test]
+    fn matches_naive() {
+        for body in ["mississippi", "abracadabra", "aaaaaaaa", "abcabcabc", "GATTACAGATTACA"] {
+            let mut text = body.as_bytes().to_vec();
+            text.push(0);
+            let sa = suffix_array(&text);
+            assert_eq!(lcp_kasai(&text, &sa), lcp_naive(&text, &sa), "body {body}");
+        }
+    }
+
+    #[test]
+    fn empty() {
+        assert!(lcp_kasai(b"", &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn mismatched_lengths_panic() {
+        lcp_kasai(b"ab\0", &[0]);
+    }
+}

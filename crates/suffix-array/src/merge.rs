@@ -1,0 +1,142 @@
+//! K-way merge of sorted suffix runs.
+//!
+//! B²ST sorts the suffixes that *start* inside each string partition into an
+//! on-disk run, then merges the runs into the global lexicographic order while
+//! tracking LCPs, and finally batch-builds the tree. This module implements
+//! the merge step.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One sorted run of suffix offsets (lexicographically sorted with respect to
+/// the full text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortedRun {
+    /// Suffix offsets in lexicographic order.
+    pub suffixes: Vec<u32>,
+}
+
+impl SortedRun {
+    /// Creates a run, asserting (in debug builds) that it is sorted.
+    pub fn new(text: &[u8], suffixes: Vec<u32>) -> Self {
+        debug_assert!(
+            suffixes.windows(2).all(|w| text[w[0] as usize..] <= text[w[1] as usize..]),
+            "run must be lexicographically sorted"
+        );
+        SortedRun { suffixes }
+    }
+}
+
+struct HeapEntry<'t> {
+    text: &'t [u8],
+    suffix: u32,
+    run: usize,
+    pos_in_run: usize,
+}
+
+impl PartialEq for HeapEntry<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.suffix == other.suffix
+    }
+}
+impl Eq for HeapEntry<'_> {}
+impl PartialOrd for HeapEntry<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we need the smallest suffix.
+        other.text[other.suffix as usize..].cmp(&self.text[self.suffix as usize..])
+    }
+}
+
+/// Merges sorted runs into the global suffix order, returning `(sa, lcp)` in
+/// the Kasai convention (`lcp[0] == 0`).
+pub fn merge_runs(text: &[u8], runs: &[SortedRun]) -> (Vec<u32>, Vec<u32>) {
+    let total: usize = runs.iter().map(|r| r.suffixes.len()).sum();
+    let mut sa = Vec::with_capacity(total);
+    let mut lcp = Vec::with_capacity(total);
+
+    let mut heap: BinaryHeap<HeapEntry<'_>> = BinaryHeap::with_capacity(runs.len());
+    for (run_idx, run) in runs.iter().enumerate() {
+        if let Some(&first) = run.suffixes.first() {
+            heap.push(HeapEntry { text, suffix: first, run: run_idx, pos_in_run: 0 });
+        }
+    }
+
+    while let Some(entry) = heap.pop() {
+        let suffix = entry.suffix;
+        if let Some(&prev) = sa.last() {
+            lcp.push(common_prefix_len(text, prev, suffix));
+        } else {
+            lcp.push(0);
+        }
+        sa.push(suffix);
+        let next_pos = entry.pos_in_run + 1;
+        if let Some(&next) = runs[entry.run].suffixes.get(next_pos) {
+            heap.push(HeapEntry { text, suffix: next, run: entry.run, pos_in_run: next_pos });
+        }
+    }
+    (sa, lcp)
+}
+
+/// Length of the longest common prefix of the suffixes at `a` and `b`.
+pub fn common_prefix_len(text: &[u8], a: u32, b: u32) -> u32 {
+    let sa = &text[a as usize..];
+    let sb = &text[b as usize..];
+    sa.iter().zip(sb.iter()).take_while(|(x, y)| x == y).count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcp::lcp_kasai;
+    use crate::sa::suffix_array;
+
+    fn split_into_runs(text: &[u8], parts: usize) -> Vec<SortedRun> {
+        let n = text.len();
+        let chunk = n.div_ceil(parts);
+        (0..parts)
+            .map(|p| {
+                let lo = p * chunk;
+                let hi = ((p + 1) * chunk).min(n);
+                let mut suffixes: Vec<u32> = (lo as u32..hi as u32).collect();
+                suffixes.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+                SortedRun::new(text, suffixes)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_reconstructs_global_order() {
+        for body in ["mississippi", "abracadabra", "GATTACAGATTACAGATT", "aaaaaaaaaaaa"] {
+            let mut text = body.as_bytes().to_vec();
+            text.push(0);
+            for parts in [1, 2, 3, 5] {
+                let runs = split_into_runs(&text, parts);
+                let (sa, lcp) = merge_runs(&text, &runs);
+                let expected_sa = suffix_array(&text);
+                assert_eq!(sa, expected_sa, "body {body} parts {parts}");
+                assert_eq!(lcp, lcp_kasai(&text, &expected_sa), "body {body} parts {parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_of_empty_runs() {
+        let text = b"ab\0";
+        let (sa, lcp) = merge_runs(text, &[SortedRun { suffixes: vec![] }]);
+        assert!(sa.is_empty());
+        assert!(lcp.is_empty());
+    }
+
+    #[test]
+    fn common_prefix_len_works() {
+        let text = b"abcabd\0";
+        assert_eq!(common_prefix_len(text, 0, 3), 2);
+        assert_eq!(common_prefix_len(text, 1, 4), 1);
+        assert_eq!(common_prefix_len(text, 0, 6), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # era-suffix-tree
+//!
+//! Suffix-tree substrate for the ERA reproduction (Mansour et al., PVLDB 2011).
+//!
+//! The crate contains everything about the *data structure* that is shared by
+//! ERA and the baseline construction algorithms:
+//!
+//! * [`SuffixTree`] — a flat arena representation (edges store `(start, end)`
+//!   offsets into the text, exactly as described in §2 of the paper).
+//! * [`assemble::assemble_from_sorted`] — the stack-based batch assembly of a
+//!   tree from lexicographically sorted leaves plus branching information;
+//!   this is the paper's `BuildSubTree` and is also how B²ST turns a merged
+//!   suffix array + LCP stream into a tree.
+//! * [`naive`] — a simple `O(n²)` reference builder used as the correctness
+//!   oracle throughout the test suites.
+//! * [`query`] — substring search, counting, longest repeated substring,
+//!   longest common substring and lexicographic suffix enumeration.
+//! * [`partitioned`] — the final ERA output: a small trie over the
+//!   variable-length S-prefixes with one sub-tree per prefix (Fig. 3).
+//! * [`validate`] — structural invariant checking used by tests and examples.
+//! * [`serialize`] — a compact little-endian binary format for storing
+//!   sub-trees on disk.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod assemble;
+pub mod naive;
+pub mod node;
+pub mod partitioned;
+pub mod query;
+pub mod serialize;
+pub mod stats;
+pub mod tree;
+pub mod validate;
+
+pub use assemble::assemble_from_sorted;
+pub use naive::naive_suffix_tree;
+pub use node::{Node, NodeData, NodeId, NO_NODE};
+pub use partitioned::{Partition, PartitionedSuffixTree, PrefixTrie};
+pub use stats::TreeStats;
+pub use tree::SuffixTree;
+pub use validate::{validate_partitioned, validate_suffix_tree, ValidationError};

@@ -1,0 +1,122 @@
+//! Arena node representation.
+
+/// Index of a node inside a [`crate::SuffixTree`] arena.
+pub type NodeId = u32;
+
+/// Sentinel meaning "no node" (used for the root's parent).
+pub const NO_NODE: NodeId = u32::MAX;
+
+/// Payload distinguishing internal nodes from leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeData {
+    /// An internal node; `children` is sorted by the first character of each
+    /// child's incoming edge label.
+    Internal {
+        /// Child node ids in lexicographic order of their edge labels.
+        children: Vec<NodeId>,
+    },
+    /// A leaf; `suffix` is the starting offset of the suffix it represents.
+    Leaf {
+        /// Offset of the suffix spelled by the root-to-leaf path.
+        suffix: u32,
+    },
+}
+
+/// One node of the arena.
+///
+/// The incoming edge label is `text[start..end]`; for the root both are zero.
+/// `first_char` caches `text[start]` so that child lookup does not need the
+/// text (important because ERA assembles trees without re-reading the string).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Start offset (inclusive) of the incoming edge label.
+    pub start: u32,
+    /// End offset (exclusive) of the incoming edge label.
+    pub end: u32,
+    /// Parent node id (`NO_NODE` for the root).
+    pub parent: NodeId,
+    /// First character of the incoming edge label (0 for the root).
+    pub first_char: u8,
+    /// Leaf / internal payload.
+    pub data: NodeData,
+}
+
+impl Node {
+    /// Creates the root node.
+    pub fn root() -> Self {
+        Node {
+            start: 0,
+            end: 0,
+            parent: NO_NODE,
+            first_char: 0,
+            data: NodeData::Internal { children: Vec::new() },
+        }
+    }
+
+    /// Creates a leaf node.
+    pub fn leaf(parent: NodeId, start: u32, end: u32, first_char: u8, suffix: u32) -> Self {
+        Node { start, end, parent, first_char, data: NodeData::Leaf { suffix } }
+    }
+
+    /// Creates an internal (non-root) node.
+    pub fn internal(parent: NodeId, start: u32, end: u32, first_char: u8) -> Self {
+        Node { start, end, parent, first_char, data: NodeData::Internal { children: Vec::new() } }
+    }
+
+    /// Length of the incoming edge label.
+    pub fn edge_len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.data, NodeData::Leaf { .. })
+    }
+
+    /// The suffix offset if this node is a leaf.
+    pub fn suffix(&self) -> Option<u32> {
+        match self.data {
+            NodeData::Leaf { suffix } => Some(suffix),
+            NodeData::Internal { .. } => None,
+        }
+    }
+
+    /// The children slice if this node is internal (empty slice for leaves).
+    pub fn children(&self) -> &[NodeId] {
+        match &self.data {
+            NodeData::Internal { children } => children,
+            NodeData::Leaf { .. } => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_no_parent() {
+        let r = Node::root();
+        assert_eq!(r.parent, NO_NODE);
+        assert_eq!(r.edge_len(), 0);
+        assert!(!r.is_leaf());
+        assert!(r.children().is_empty());
+    }
+
+    #[test]
+    fn leaf_reports_suffix() {
+        let l = Node::leaf(0, 3, 8, b'G', 3);
+        assert!(l.is_leaf());
+        assert_eq!(l.suffix(), Some(3));
+        assert_eq!(l.edge_len(), 5);
+        assert!(l.children().is_empty());
+    }
+
+    #[test]
+    fn internal_has_children_vec() {
+        let n = Node::internal(0, 1, 3, b'A');
+        assert!(!n.is_leaf());
+        assert_eq!(n.suffix(), None);
+        assert_eq!(n.edge_len(), 2);
+    }
+}

@@ -1,0 +1,281 @@
+//! Query operations over a single suffix (sub-)tree.
+//!
+//! These are the classic operations the paper motivates in §1: exact substring
+//! search in `O(|P|)`, occurrence counting/enumeration, the longest repeated
+//! substring and the longest common substring of two strings (via a
+//! generalized tree over their concatenation).
+
+use crate::node::NodeId;
+use crate::tree::SuffixTree;
+
+/// Outcome of matching a pattern against the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchResult {
+    /// The whole pattern was matched; the node is the highest node whose
+    /// subtree contains every occurrence.
+    Complete {
+        /// Node at or below which every occurrence lies.
+        node: NodeId,
+    },
+    /// The pattern does not occur.
+    NoMatch,
+}
+
+impl SuffixTree {
+    /// Matches `pattern` from the root, comparing edge labels against `text`.
+    pub fn match_pattern(&self, text: &[u8], pattern: &[u8]) -> MatchResult {
+        if pattern.is_empty() {
+            return MatchResult::Complete { node: self.root() };
+        }
+        let mut node = self.root();
+        let mut matched = 0usize;
+        loop {
+            let Some(child) = self.child_starting_with(node, pattern[matched]) else {
+                // `first_char` lookups are exact, but tolerate a cache miss for
+                // single-child roots of sub-trees by falling back to a scan.
+                let mut found = None;
+                for &c in self.children(node) {
+                    let ch = self.node(c);
+                    if text[ch.start as usize] == pattern[matched] {
+                        found = Some(c);
+                        break;
+                    }
+                }
+                match found {
+                    Some(c) => {
+                        if let Some(r) = self.match_edge(text, pattern, &mut matched, c) {
+                            return r;
+                        }
+                        node = c;
+                        continue;
+                    }
+                    None => return MatchResult::NoMatch,
+                }
+            };
+            if let Some(r) = self.match_edge(text, pattern, &mut matched, child) {
+                return r;
+            }
+            node = child;
+        }
+    }
+
+    /// Matches as much of `pattern` as possible along the edge into `child`.
+    /// Returns `Some(result)` when matching terminates on this edge.
+    fn match_edge(
+        &self,
+        text: &[u8],
+        pattern: &[u8],
+        matched: &mut usize,
+        child: NodeId,
+    ) -> Option<MatchResult> {
+        let ch = self.node(child);
+        let label = &text[ch.start as usize..ch.end as usize];
+        let remaining = &pattern[*matched..];
+        let k = label.iter().zip(remaining.iter()).take_while(|(a, b)| a == b).count();
+        *matched += k;
+        if *matched == pattern.len() {
+            Some(MatchResult::Complete { node: child })
+        } else if k < label.len() {
+            Some(MatchResult::NoMatch)
+        } else {
+            None // full edge matched, pattern continues below `child`
+        }
+    }
+
+    /// Whether `pattern` occurs in the indexed text.
+    pub fn contains(&self, text: &[u8], pattern: &[u8]) -> bool {
+        matches!(self.match_pattern(text, pattern), MatchResult::Complete { .. })
+    }
+
+    /// All occurrence positions of `pattern`, in lexicographic order of the
+    /// suffixes that start with it.
+    pub fn find_all(&self, text: &[u8], pattern: &[u8]) -> Vec<u32> {
+        match self.match_pattern(text, pattern) {
+            MatchResult::Complete { node } => self.leaves_below(node),
+            MatchResult::NoMatch => Vec::new(),
+        }
+    }
+
+    /// Number of occurrences of `pattern`.
+    pub fn count(&self, text: &[u8], pattern: &[u8]) -> usize {
+        match self.match_pattern(text, pattern) {
+            MatchResult::Complete { node } => self.leaves_below(node).len(),
+            MatchResult::NoMatch => 0,
+        }
+    }
+
+    /// The longest substring that occurs at least twice, returned as
+    /// `(offset, length)`; `None` when no substring repeats (e.g. a string of
+    /// distinct symbols).
+    ///
+    /// This is the deepest internal node of the tree.
+    pub fn longest_repeated_substring(&self, _text: &[u8]) -> Option<(u32, u32)> {
+        let mut best: Option<(u32, u32)> = None; // (depth, node)
+        for (id, depth) in self.dfs() {
+            if !self.node(id).is_leaf()
+                && id != self.root()
+                && depth > 0
+                && best.map(|(d, _)| depth > d).unwrap_or(true)
+            {
+                best = Some((depth, id));
+            }
+        }
+        best.map(|(depth, id)| {
+            // Any leaf below spells the substring at its own offset.
+            let leaf = self.leaves_below(id)[0];
+            (leaf, depth)
+        })
+    }
+
+    /// Longest common substring of the two halves of a generalized text
+    /// `left # right $`, where `separator_pos` is the index of `#`.
+    ///
+    /// Returns `(offset_in_text, length)` of one occurrence inside the left
+    /// half, or `None` if the strings share no symbol.
+    pub fn longest_common_substring(&self, text: &[u8], separator_pos: usize) -> Option<(u32, u32)> {
+        debug_assert!(separator_pos < text.len(), "separator must lie inside the text");
+        let sep = separator_pos as u32;
+        // For every internal node, determine whether it has a leaf on each
+        // side of the separator and whether the path label stays inside the
+        // left string. Process nodes bottom-up using a post-order pass.
+        let order = self.dfs();
+        let mut min_left: Vec<u32> = vec![u32::MAX; self.node_count()];
+        let mut has_right: Vec<bool> = vec![false; self.node_count()];
+        // Post-order: children appear after parents in `dfs` output is NOT
+        // guaranteed, so process in reverse topological order by iterating the
+        // DFS output backwards (children were pushed after their parent).
+        for &(id, _) in order.iter().rev() {
+            let node = self.node(id);
+            if let Some(s) = node.suffix() {
+                if s < sep {
+                    min_left[id as usize] = s;
+                } else if s > sep {
+                    has_right[id as usize] = true;
+                }
+            } else {
+                for &c in node.children() {
+                    min_left[id as usize] = min_left[id as usize].min(min_left[c as usize]);
+                    has_right[id as usize] = has_right[id as usize] || has_right[c as usize];
+                }
+            }
+        }
+        let mut best: Option<(u32, u32)> = None;
+        for (id, depth) in order {
+            if id == self.root() || self.node(id).is_leaf() || depth == 0 {
+                continue;
+            }
+            let left = min_left[id as usize];
+            if left == u32::MAX || !has_right[id as usize] {
+                continue;
+            }
+            // The path label must not cross the separator.
+            if left + depth > sep {
+                continue;
+            }
+            if best.map(|(_, d)| depth > d).unwrap_or(true) {
+                best = Some((left, depth));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_suffix_tree;
+
+    fn tree_for(body: &[u8]) -> (Vec<u8>, SuffixTree) {
+        let mut text = body.to_vec();
+        text.push(0);
+        let t = naive_suffix_tree(&text);
+        (text, t)
+    }
+
+    #[test]
+    fn find_all_matches_scan() {
+        let (text, t) = tree_for(b"mississippi");
+        for pattern in [&b"ss"[..], b"issi", b"i", b"mississippi", b"p", b"sip"] {
+            let mut expected: Vec<u32> = (0..text.len() - 1)
+                .filter(|&i| text[i..].starts_with(pattern))
+                .map(|i| i as u32)
+                .collect();
+            let mut got = t.find_all(&text, pattern);
+            got.sort_unstable();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "pattern {:?}", std::str::from_utf8(pattern));
+            assert_eq!(t.count(&text, pattern), expected.len());
+            assert_eq!(t.contains(&text, pattern), !expected.is_empty());
+        }
+    }
+
+    #[test]
+    fn absent_patterns() {
+        let (text, t) = tree_for(b"mississippi");
+        assert!(!t.contains(&text, b"xyz"));
+        assert!(!t.contains(&text, b"ssb"));
+        assert!(t.find_all(&text, b"ippi2").is_empty());
+        assert_eq!(t.count(&text, b"zzz"), 0);
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let (text, t) = tree_for(b"abcab");
+        assert_eq!(t.count(&text, b""), text.len());
+        assert!(t.contains(&text, b""));
+    }
+
+    #[test]
+    fn longest_repeated_substring_mississippi() {
+        let (text, t) = tree_for(b"mississippi");
+        let (off, len) = t.longest_repeated_substring(&text).unwrap();
+        assert_eq!(len, 4);
+        assert_eq!(&text[off as usize..(off + len) as usize], b"issi");
+    }
+
+    #[test]
+    fn longest_repeated_substring_none_for_unique_symbols() {
+        let (text, t) = tree_for(b"abcd");
+        assert!(t.longest_repeated_substring(&text).is_none());
+    }
+
+    #[test]
+    fn longest_common_substring_basic() {
+        // left = "xabcy", right = "zabcw", separator '#'
+        let body = b"xabcy#zabcw";
+        let (text, t) = tree_for(body);
+        let sep = body.iter().position(|&b| b == b'#').unwrap();
+        let (off, len) = t.longest_common_substring(&text, sep).unwrap();
+        assert_eq!(len, 3);
+        assert_eq!(&text[off as usize..(off + len) as usize], b"abc");
+    }
+
+    #[test]
+    fn longest_common_substring_no_overlap() {
+        let body = b"aaa#bbb";
+        let (text, t) = tree_for(body);
+        let sep = 3;
+        assert!(t.longest_common_substring(&text, sep).is_none());
+    }
+
+    #[test]
+    fn longest_common_substring_does_not_cross_separator() {
+        // "ab#ab": the string "ab#a" crosses the separator and must not count.
+        let body = b"ab#ab";
+        let (text, t) = tree_for(body);
+        let (off, len) = t.longest_common_substring(&text, 2).unwrap();
+        assert_eq!(len, 2);
+        assert_eq!(&text[off as usize..(off + len) as usize], b"ab");
+    }
+
+    #[test]
+    fn paper_example_queries() {
+        let (text, t) = tree_for(b"TGGTGGTGGTGCGGTGATGGTGC");
+        // Table 1: "TG" occurs at 0, 3, 6, 9, 14, 17, 20.
+        let mut got = t.find_all(&text, b"TG");
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 3, 6, 9, 14, 17, 20]);
+        assert_eq!(t.count(&text, b"TGGTG"), 4);
+        assert_eq!(t.count(&text, b"TGGTGG"), 2);
+    }
+}

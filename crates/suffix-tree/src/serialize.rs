@@ -1,0 +1,243 @@
+//! Compact binary serialization of suffix (sub-)trees.
+//!
+//! ERA and the disk-based baselines write finished sub-trees to disk as they
+//! are produced (the human-genome tree is ~26× the input, so it cannot stay in
+//! memory). The format is a simple little-endian layout with a magic header —
+//! no external codec dependencies.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::node::{Node, NodeData, NodeId};
+use crate::partitioned::{Partition, PartitionedSuffixTree};
+use crate::tree::SuffixTree;
+
+const TREE_MAGIC: &[u8; 8] = b"ERASTRE1";
+const PART_MAGIC: &[u8; 8] = b"ERAPART1";
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn write_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// Writes a tree to any writer.
+pub fn write_tree<W: Write>(w: &mut W, tree: &SuffixTree) -> io::Result<()> {
+    w.write_all(TREE_MAGIC)?;
+    write_u32(w, tree.text_len() as u32)?;
+    write_u32(w, tree.node_count() as u32)?;
+    for id in tree.node_ids() {
+        let n = tree.node(id);
+        write_u32(w, n.start)?;
+        write_u32(w, n.end)?;
+        write_u32(w, n.parent)?;
+        write_u8(w, n.first_char)?;
+        match &n.data {
+            NodeData::Leaf { suffix } => {
+                write_u8(w, 1)?;
+                write_u32(w, *suffix)?;
+            }
+            NodeData::Internal { children } => {
+                write_u8(w, 0)?;
+                write_u32(w, children.len() as u32)?;
+                for &c in children {
+                    write_u32(w, c)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a tree previously written with [`write_tree`].
+pub fn read_tree<R: Read>(r: &mut R) -> io::Result<SuffixTree> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != TREE_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an ERA suffix tree file"));
+    }
+    let text_len = read_u32(r)? as usize;
+    let node_count = read_u32(r)? as usize;
+    let mut tree = SuffixTree::with_capacity(text_len, node_count);
+    for id in 0..node_count as NodeId {
+        let start = read_u32(r)?;
+        let end = read_u32(r)?;
+        let parent = read_u32(r)?;
+        let first_char = read_u8(r)?;
+        let tag = read_u8(r)?;
+        let data = if tag == 1 {
+            NodeData::Leaf { suffix: read_u32(r)? }
+        } else {
+            let len = read_u32(r)? as usize;
+            let mut children = Vec::with_capacity(len);
+            for _ in 0..len {
+                children.push(read_u32(r)?);
+            }
+            NodeData::Internal { children }
+        };
+        let node = Node { start, end, parent, first_char, data };
+        if id == 0 {
+            *tree.node_mut(0) = node;
+        } else {
+            tree.push_raw(node);
+        }
+    }
+    Ok(tree)
+}
+
+impl SuffixTree {
+    /// Appends a fully specified node without linking it to a parent —
+    /// only used by deserialization, which restores links verbatim.
+    pub(crate) fn push_raw(&mut self, node: Node) -> NodeId {
+        let id = self.node_count() as NodeId;
+        self.push_node_for_deserialization(node);
+        id
+    }
+
+    /// Saves the tree to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        write_tree(&mut w, self)?;
+        w.flush()
+    }
+
+    /// Loads a tree from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<SuffixTree> {
+        let mut r = BufReader::new(File::open(path)?);
+        read_tree(&mut r)
+    }
+
+    /// Serialized size in bytes (without writing anywhere).
+    pub fn serialized_size(&self) -> usize {
+        let mut counter = CountingWriter::default();
+        write_tree(&mut counter, self).expect("counting writer cannot fail");
+        counter.bytes
+    }
+}
+
+#[derive(Default)]
+struct CountingWriter {
+    bytes: usize,
+}
+
+impl Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.bytes += buf.len();
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl PartitionedSuffixTree {
+    /// Saves the whole index into `dir`: a manifest plus one file per
+    /// partition sub-tree.
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut manifest = BufWriter::new(File::create(dir.join("manifest.era"))?);
+        manifest.write_all(PART_MAGIC)?;
+        write_u32(&mut manifest, self.text_len() as u32)?;
+        write_u32(&mut manifest, self.partitions().len() as u32)?;
+        for (i, part) in self.partitions().iter().enumerate() {
+            write_u32(&mut manifest, part.prefix.len() as u32)?;
+            manifest.write_all(&part.prefix)?;
+            part.tree.save(dir.join(format!("part-{i:05}.st")))?;
+        }
+        manifest.flush()
+    }
+
+    /// Loads an index previously written by [`Self::save_to_dir`].
+    pub fn load_from_dir(dir: impl AsRef<Path>) -> io::Result<PartitionedSuffixTree> {
+        let dir = dir.as_ref();
+        let mut manifest = BufReader::new(File::open(dir.join("manifest.era"))?);
+        let mut magic = [0u8; 8];
+        manifest.read_exact(&mut magic)?;
+        if &magic != PART_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an ERA index manifest"));
+        }
+        let text_len = read_u32(&mut manifest)? as usize;
+        let count = read_u32(&mut manifest)? as usize;
+        let mut partitions = Vec::with_capacity(count);
+        for i in 0..count {
+            let plen = read_u32(&mut manifest)? as usize;
+            let mut prefix = vec![0u8; plen];
+            manifest.read_exact(&mut prefix)?;
+            let tree = SuffixTree::load(dir.join(format!("part-{i:05}.st")))?;
+            partitions.push(Partition { prefix, tree });
+        }
+        Ok(PartitionedSuffixTree::new(text_len, partitions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_suffix_tree;
+    use crate::validate::validate_suffix_tree;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("era-serialize-{}-{}", name, std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn tree_roundtrip_in_memory() {
+        let text = b"mississippi\0";
+        let tree = naive_suffix_tree(text);
+        let mut buf = Vec::new();
+        write_tree(&mut buf, &tree).unwrap();
+        let back = read_tree(&mut buf.as_slice()).unwrap();
+        assert_eq!(tree, back);
+        validate_suffix_tree(&back, text, Some(text.len())).unwrap();
+        assert_eq!(tree.serialized_size(), buf.len());
+    }
+
+    #[test]
+    fn tree_roundtrip_on_disk() {
+        let dir = temp_dir("tree");
+        let text = b"abracadabra\0";
+        let tree = naive_suffix_tree(text);
+        let path = dir.join("tree.st");
+        tree.save(&path).unwrap();
+        let back = SuffixTree::load(&path).unwrap();
+        assert_eq!(tree, back);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let data = b"NOTATREExxxxxxxxxxxx".to_vec();
+        assert!(read_tree(&mut data.as_slice()).is_err());
+    }
+
+    #[test]
+    fn partitioned_roundtrip() {
+        let text = b"GATTACAGATTACA\0";
+        let full = naive_suffix_tree(text);
+        let index = PartitionedSuffixTree::single(text.len(), full);
+        let dir = temp_dir("part");
+        index.save_to_dir(&dir).unwrap();
+        let back = PartitionedSuffixTree::load_from_dir(&dir).unwrap();
+        assert_eq!(index.leaf_count(), back.leaf_count());
+        assert_eq!(index.find_all(text, b"GATTACA"), back.find_all(text, b"GATTACA"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

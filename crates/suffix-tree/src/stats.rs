@@ -1,0 +1,48 @@
+//! Structural tree statistics.
+
+/// Summary statistics of a suffix (sub-)tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Total number of nodes including the root.
+    pub nodes: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Number of internal nodes (including the root).
+    pub internal: usize,
+    /// Maximum string depth over all nodes (length of the deepest suffix).
+    pub max_depth: u32,
+    /// Maximum string depth over internal nodes — i.e. the length of the
+    /// longest repeated substring indexed by the tree.
+    pub max_internal_depth: u32,
+}
+
+impl TreeStats {
+    /// Merges statistics of independent sub-trees (used to report on a
+    /// partitioned tree).
+    pub fn merge(&self, other: &TreeStats) -> TreeStats {
+        TreeStats {
+            nodes: self.nodes + other.nodes,
+            leaves: self.leaves + other.leaves,
+            internal: self.internal + other.internal,
+            max_depth: self.max_depth.max(other.max_depth),
+            max_internal_depth: self.max_internal_depth.max(other.max_internal_depth),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let a = TreeStats { nodes: 3, leaves: 2, internal: 1, max_depth: 5, max_internal_depth: 2 };
+        let b = TreeStats { nodes: 7, leaves: 4, internal: 3, max_depth: 4, max_internal_depth: 3 };
+        let m = a.merge(&b);
+        assert_eq!(m.nodes, 10);
+        assert_eq!(m.leaves, 6);
+        assert_eq!(m.internal, 4);
+        assert_eq!(m.max_depth, 5);
+        assert_eq!(m.max_internal_depth, 3);
+    }
+}

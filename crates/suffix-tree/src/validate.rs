@@ -1,0 +1,213 @@
+//! Structural invariant checking.
+//!
+//! Used by unit, integration and property tests to certify that every
+//! construction algorithm (ERA, WaveFront, B²ST, Trellis, Ukkonen, naive)
+//! produces a well-formed suffix tree with exactly the suffixes it claims to
+//! index.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::node::{NodeData, NodeId};
+use crate::partitioned::PartitionedSuffixTree;
+use crate::tree::SuffixTree;
+
+/// A violated suffix-tree invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// An internal node other than the root has fewer than two children.
+    UnaryInternalNode(NodeId),
+    /// Two sibling edges begin with the same character, or siblings are out of
+    /// order.
+    SiblingOrder(NodeId),
+    /// A node's cached first character does not match the text.
+    FirstCharMismatch(NodeId),
+    /// A non-root node has an empty edge label.
+    EmptyEdge(NodeId),
+    /// A child's parent pointer does not point back to its parent.
+    ParentMismatch(NodeId),
+    /// The path label of a leaf does not spell the suffix it claims.
+    WrongSuffix {
+        /// The offending leaf.
+        leaf: NodeId,
+        /// The suffix offset stored in the leaf.
+        suffix: u32,
+    },
+    /// The set of indexed suffixes differs from the expected set.
+    WrongLeafSet {
+        /// Number of leaves found.
+        found: usize,
+        /// Number of leaves expected.
+        expected: usize,
+    },
+    /// An edge label range is out of bounds of the text.
+    EdgeOutOfBounds(NodeId),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UnaryInternalNode(n) => write!(f, "internal node {n} has fewer than 2 children"),
+            ValidationError::SiblingOrder(n) => write!(f, "children of node {n} are not strictly ordered by first character"),
+            ValidationError::FirstCharMismatch(n) => write!(f, "cached first character of node {n} does not match the text"),
+            ValidationError::EmptyEdge(n) => write!(f, "non-root node {n} has an empty edge label"),
+            ValidationError::ParentMismatch(n) => write!(f, "parent pointer of node {n} is inconsistent"),
+            ValidationError::WrongSuffix { leaf, suffix } => write!(f, "leaf {leaf} does not spell suffix {suffix}"),
+            ValidationError::WrongLeafSet { found, expected } => write!(f, "tree indexes {found} suffixes, expected {expected}"),
+            ValidationError::EdgeOutOfBounds(n) => write!(f, "edge label of node {n} is out of text bounds"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates a single suffix (sub-)tree against the text.
+///
+/// If `expected_leaves` is `Some(k)` the tree must contain exactly `k` leaves;
+/// a complete suffix tree of `text` has `text.len()` leaves.
+pub fn validate_suffix_tree(
+    tree: &SuffixTree,
+    text: &[u8],
+    expected_leaves: Option<usize>,
+) -> Result<(), ValidationError> {
+    let n = text.len() as u32;
+    let root = tree.root();
+
+    for id in tree.node_ids() {
+        let node = tree.node(id);
+        if id != root {
+            if node.start >= node.end || node.end > n {
+                return Err(if node.end > n {
+                    ValidationError::EdgeOutOfBounds(id)
+                } else {
+                    ValidationError::EmptyEdge(id)
+                });
+            }
+            if node.first_char != text[node.start as usize] {
+                return Err(ValidationError::FirstCharMismatch(id));
+            }
+        }
+        match &node.data {
+            NodeData::Internal { children } => {
+                if id != root && children.len() < 2 {
+                    return Err(ValidationError::UnaryInternalNode(id));
+                }
+                let mut prev: Option<u8> = None;
+                for &c in children {
+                    let child = tree.node(c);
+                    if child.parent != id {
+                        return Err(ValidationError::ParentMismatch(c));
+                    }
+                    if let Some(p) = prev {
+                        if child.first_char <= p {
+                            return Err(ValidationError::SiblingOrder(id));
+                        }
+                    }
+                    prev = Some(child.first_char);
+                }
+            }
+            NodeData::Leaf { suffix } => {
+                let label = tree.path_label(id, text);
+                if *suffix as usize >= text.len() || label != text[*suffix as usize..] {
+                    return Err(ValidationError::WrongSuffix { leaf: id, suffix: *suffix });
+                }
+            }
+        }
+    }
+
+    if let Some(expected) = expected_leaves {
+        let found = tree.leaf_count();
+        if found != expected {
+            return Err(ValidationError::WrongLeafSet { found, expected });
+        }
+    }
+    Ok(())
+}
+
+/// Validates a partitioned suffix tree: every sub-tree is well formed, every
+/// leaf of partition `p` is an occurrence of `p`, and across all partitions
+/// the leaves are exactly the suffixes `0..text.len()`.
+pub fn validate_partitioned(
+    tree: &PartitionedSuffixTree,
+    text: &[u8],
+) -> Result<(), ValidationError> {
+    let mut all: BTreeSet<u32> = BTreeSet::new();
+    for part in tree.partitions() {
+        validate_suffix_tree(&part.tree, text, None)?;
+        for leaf in part.tree.lexicographic_suffixes() {
+            if !text[leaf as usize..].starts_with(&part.prefix) {
+                return Err(ValidationError::WrongSuffix { leaf: 0, suffix: leaf });
+            }
+            all.insert(leaf);
+        }
+    }
+    if all.len() != text.len() || all.iter().ne((0..text.len() as u32).collect::<BTreeSet<_>>().iter()) {
+        return Err(ValidationError::WrongLeafSet { found: all.len(), expected: text.len() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_suffix_tree;
+
+    #[test]
+    fn naive_tree_passes() {
+        let text = b"mississippi\0";
+        let t = naive_suffix_tree(text);
+        validate_suffix_tree(&t, text, Some(text.len())).unwrap();
+    }
+
+    #[test]
+    fn detects_wrong_leaf_count() {
+        let text = b"abc\0";
+        let t = naive_suffix_tree(text);
+        let err = validate_suffix_tree(&t, text, Some(99)).unwrap_err();
+        assert!(matches!(err, ValidationError::WrongLeafSet { found: 4, expected: 99 }));
+    }
+
+    #[test]
+    fn detects_unary_internal_node() {
+        let text = b"ab\0";
+        let mut t = SuffixTree::new(3);
+        let internal = t.add_internal(t.root(), 0, 1, b'a');
+        t.add_leaf(internal, 1, 3, b'b', 0);
+        let err = validate_suffix_tree(&t, text, None).unwrap_err();
+        assert!(matches!(err, ValidationError::UnaryInternalNode(_)));
+    }
+
+    #[test]
+    fn detects_wrong_suffix_label() {
+        let text = b"ab\0";
+        let mut t = SuffixTree::new(3);
+        // Claims to be suffix 1 ("b$") but spells "ab$".
+        t.add_leaf(t.root(), 0, 3, b'a', 1);
+        let err = validate_suffix_tree(&t, text, None).unwrap_err();
+        assert!(matches!(err, ValidationError::WrongSuffix { .. }));
+    }
+
+    #[test]
+    fn detects_first_char_mismatch() {
+        let text = b"ab\0";
+        let mut t = SuffixTree::new(3);
+        t.add_leaf(t.root(), 0, 3, b'x', 0);
+        let err = validate_suffix_tree(&t, text, None).unwrap_err();
+        assert!(matches!(err, ValidationError::FirstCharMismatch(_)));
+    }
+
+    #[test]
+    fn detects_out_of_bounds_edge() {
+        let text = b"ab\0";
+        let mut t = SuffixTree::new(5); // lies about text length
+        t.add_leaf(t.root(), 0, 5, b'a', 0);
+        let err = validate_suffix_tree(&t, text, None).unwrap_err();
+        assert!(matches!(err, ValidationError::EdgeOutOfBounds(_)));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = ValidationError::WrongLeafSet { found: 1, expected: 2 };
+        assert!(e.to_string().contains("expected 2"));
+    }
+}

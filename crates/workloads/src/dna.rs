@@ -1,0 +1,114 @@
+//! DNA generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DNA: &[u8; 4] = b"ACGT";
+
+/// Uniform random DNA of length `len`.
+pub fn uniform_dna(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD4A_0001);
+    (0..len).map(|_| DNA[rng.gen_range(0..4)]).collect()
+}
+
+/// DNA with genome-like repeat structure.
+///
+/// Real genomes are far from uniform: they contain segmental duplications,
+/// tandem repeats and point mutations, which is what makes suffix trees deep
+/// and what lets ERA's elastic range pay off (long shared prefixes keep areas
+/// active for more iterations). The generator:
+///
+/// 1. emits uniform DNA most of the time;
+/// 2. with some probability copies a previously generated segment
+///    (a *segmental duplication*) while applying ~1% point mutations;
+/// 3. with a smaller probability emits a short tandem repeat
+///    (e.g. `ACGACGACG...`).
+pub fn genome_like(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6E0_0002);
+    let mut out: Vec<u8> = Vec::with_capacity(len);
+    while out.len() < len {
+        let roll: f64 = rng.gen();
+        if roll < 0.55 || out.len() < 64 {
+            // Fresh uniform segment.
+            let seg = rng.gen_range(16..256).min(len - out.len());
+            for _ in 0..seg {
+                out.push(DNA[rng.gen_range(0..4)]);
+            }
+        } else if roll < 0.90 {
+            // Segmental duplication with ~1% mutations.
+            let max_copy = out.len().min(2048);
+            let copy_len = rng.gen_range(32..=max_copy).min(len - out.len());
+            let src = rng.gen_range(0..out.len() - copy_len.min(out.len() - 1));
+            for i in 0..copy_len {
+                let mut b = out[src + i];
+                if rng.gen_bool(0.01) {
+                    b = DNA[rng.gen_range(0..4)];
+                }
+                out.push(b);
+            }
+        } else {
+            // Tandem repeat of a short motif.
+            let motif_len = rng.gen_range(2..8);
+            let motif: Vec<u8> = (0..motif_len).map(|_| DNA[rng.gen_range(0..4)]).collect();
+            let reps = rng.gen_range(4..40);
+            for r in 0..reps {
+                for &m in &motif {
+                    if out.len() >= len {
+                        break;
+                    }
+                    out.push(m);
+                }
+                if out.len() >= len {
+                    break;
+                }
+                let _ = r;
+            }
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_alphabet() {
+        for len in [0, 1, 100, 10_000] {
+            let u = uniform_dna(len, 3);
+            let g = genome_like(len, 3);
+            assert_eq!(u.len(), len);
+            assert_eq!(g.len(), len);
+            assert!(u.iter().all(|b| DNA.contains(b)));
+            assert!(g.iter().all(|b| DNA.contains(b)));
+        }
+    }
+
+    #[test]
+    fn genome_like_has_more_repeats_than_uniform() {
+        // Compare the count of repeated 16-mers: the genome-like generator
+        // must produce markedly more of them.
+        fn repeated_kmers(s: &[u8], k: usize) -> usize {
+            use std::collections::HashMap;
+            let mut seen: HashMap<&[u8], usize> = HashMap::new();
+            for w in s.windows(k) {
+                *seen.entry(w).or_default() += 1;
+            }
+            seen.values().filter(|&&c| c > 1).count()
+        }
+        let len = 50_000;
+        let u = uniform_dna(len, 9);
+        let g = genome_like(len, 9);
+        let ru = repeated_kmers(&u, 16);
+        let rg = repeated_kmers(&g, 16);
+        assert!(rg > ru * 5 + 10, "genome {rg} vs uniform {ru}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(genome_like(1000, 5), genome_like(1000, 5));
+        assert_eq!(uniform_dna(1000, 5), uniform_dna(1000, 5));
+        assert_ne!(uniform_dna(1000, 5), uniform_dna(1000, 6));
+    }
+}

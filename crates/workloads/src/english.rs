@@ -1,0 +1,84 @@
+//! English-like text generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small vocabulary of common English words (letters only — the paper's
+/// English dataset uses a 26-symbol alphabet).
+const WORDS: &[&str] = &[
+    "the", "of", "and", "to", "in", "that", "is", "was", "for", "it", "with", "as", "his", "on",
+    "be", "at", "by", "had", "not", "are", "but", "from", "or", "have", "an", "they", "which",
+    "one", "you", "were", "her", "all", "she", "there", "would", "their", "we", "him", "been",
+    "has", "when", "who", "will", "more", "no", "if", "out", "so", "said", "what", "up", "its",
+    "about", "into", "than", "them", "can", "only", "other", "new", "some", "could", "time",
+    "these", "two", "may", "then", "do", "first", "any", "my", "now", "such", "like", "our",
+    "over", "man", "me", "even", "most", "made", "after", "also", "did", "many", "before", "must",
+    "through", "years", "where", "much", "your", "way", "well", "down", "should", "because",
+    "each", "just", "those", "people", "mister", "how", "too", "little", "state", "good", "very",
+    "make", "world", "still", "own", "see", "men", "work", "long", "get", "here", "between",
+    "both", "life", "being", "under", "never", "day", "same", "another", "know", "while", "last",
+    "might", "us", "great", "old", "year", "off", "come", "since", "against", "go", "came",
+    "right", "used", "take", "three", "system", "database", "suffix", "tree", "index", "string",
+    "construction", "memory", "disk", "parallel", "algorithm", "partition", "elastic", "range",
+];
+
+/// English-like text of length `len` over the 26-letter alphabet.
+///
+/// Words are sampled with a Zipf-like bias towards the front of the
+/// vocabulary and concatenated without spaces (spaces are not part of the
+/// paper's 26-symbol alphabet). Repeated sentences are injected occasionally
+/// so that long repeats exist, as in real Wikipedia text.
+pub fn english_like(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE6_0004);
+    let mut out: Vec<u8> = Vec::with_capacity(len + 16);
+    let mut sentences: Vec<(usize, usize)> = Vec::new(); // (start, len) of emitted sentences
+    while out.len() < len {
+        if !sentences.is_empty() && rng.gen_bool(0.05) {
+            // Repeat a whole earlier sentence (boilerplate text).
+            let &(s, l) = &sentences[rng.gen_range(0..sentences.len())];
+            let end = (s + l).min(out.len());
+            let copy: Vec<u8> = out[s..end].to_vec();
+            out.extend_from_slice(&copy);
+        } else {
+            let start = out.len();
+            let words = rng.gen_range(5..15);
+            for _ in 0..words {
+                // Zipf-ish: square the uniform draw to bias towards index 0.
+                let u: f64 = rng.gen();
+                let idx = ((u * u) * WORDS.len() as f64) as usize;
+                out.extend_from_slice(WORDS[idx.min(WORDS.len() - 1)].as_bytes());
+            }
+            sentences.push((start, out.len() - start));
+            if sentences.len() > 64 {
+                sentences.remove(0);
+            }
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_and_alphabet() {
+        let e = english_like(30_000, 4);
+        assert_eq!(e.len(), 30_000);
+        assert!(e.iter().all(|b| b.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn contains_common_words() {
+        let e = english_like(5_000, 4);
+        let s = String::from_utf8(e).unwrap();
+        assert!(s.contains("the"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(english_like(1000, 8), english_like(1000, 8));
+        assert_ne!(english_like(1000, 8), english_like(1000, 9));
+    }
+}

@@ -1,0 +1,63 @@
+//! Dataset specifications used by benches and examples.
+
+/// Which generator to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Uniform random DNA (4 symbols).
+    UniformDna,
+    /// DNA with genome-like repeat structure (segmental duplications with
+    /// mutations and tandem repeats).
+    GenomeLike,
+    /// Protein-like sequence (20 symbols, skewed amino-acid frequencies).
+    Protein,
+    /// English-like text (26 symbols, digram Markov chain).
+    English,
+}
+
+/// A reproducible dataset description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DatasetSpec {
+    /// Generator family.
+    pub kind: DatasetKind,
+    /// Body length in symbols (the terminal is appended by the store).
+    pub len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Convenience constructor.
+    pub fn new(kind: DatasetKind, len: usize, seed: u64) -> Self {
+        DatasetSpec { kind, len, seed }
+    }
+
+    /// A short human-readable tag (used in benchmark reports).
+    pub fn tag(&self) -> String {
+        let kind = match self.kind {
+            DatasetKind::UniformDna => "dna",
+            DatasetKind::GenomeLike => "genome",
+            DatasetKind::Protein => "protein",
+            DatasetKind::English => "english",
+        };
+        if self.len >= 1 << 20 {
+            format!("{kind}-{}MB", self.len >> 20)
+        } else if self.len >= 1 << 10 {
+            format!("{kind}-{}KB", self.len >> 10)
+        } else {
+            format!("{kind}-{}B", self.len)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_readable() {
+        assert_eq!(DatasetSpec::new(DatasetKind::UniformDna, 2 << 20, 1).tag(), "dna-2MB");
+        assert_eq!(DatasetSpec::new(DatasetKind::Protein, 4 << 10, 1).tag(), "protein-4KB");
+        assert_eq!(DatasetSpec::new(DatasetKind::English, 100, 1).tag(), "english-100B");
+        assert_eq!(DatasetSpec::new(DatasetKind::GenomeLike, 1 << 20, 1).tag(), "genome-1MB");
+    }
+}

@@ -1,0 +1,73 @@
+//! Shared helpers for the cross-crate integration and property tests.
+
+use era_string_store::{Alphabet, InMemoryStore};
+use era_suffix_tree::{naive_suffix_tree, SuffixTree};
+
+/// Appends the terminal to a body.
+pub fn terminated(body: &[u8]) -> Vec<u8> {
+    let mut t = body.to_vec();
+    t.push(0);
+    t
+}
+
+/// Builds the reference (naive) suffix tree for a body.
+pub fn reference_tree(body: &[u8]) -> SuffixTree {
+    naive_suffix_tree(&terminated(body))
+}
+
+/// Creates an in-memory store with an inferred alphabet and a small block
+/// size so that block-level behaviour is exercised even on tiny inputs.
+pub fn small_block_store(body: &[u8]) -> InMemoryStore {
+    InMemoryStore::from_body_inferred(body)
+        .expect("valid body")
+        .with_block_size(64)
+        .expect("non-zero block size")
+}
+
+/// Creates a DNA store.
+pub fn dna_store(body: &[u8]) -> InMemoryStore {
+    InMemoryStore::from_body(body, Alphabet::dna()).expect("valid DNA body")
+}
+
+/// A small corpus of structurally diverse strings used across the integration
+/// tests: repetitive, random-ish, periodic, and the paper's running example.
+pub fn corpus() -> Vec<Vec<u8>> {
+    vec![
+        b"TGGTGGTGGTGCGGTGATGGTGC".to_vec(), // the paper's Figure 2 string
+        b"GATTACAGATTACAGGATCCGATTACATTTTACAGAGATTACCA".to_vec(),
+        b"mississippi".to_vec(),
+        b"abracadabra".to_vec(),
+        b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".to_vec(),
+        b"abcabcabcabcabcabcabcabcabc".to_vec(),
+        b"a".to_vec(),
+        b"thequickbrownfoxjumpsoverthelazydogthequickbrownfox".to_vec(),
+    ]
+}
+
+/// Every occurrence of `pattern` in `text` found by direct scanning — the
+/// query oracle.
+pub fn scan_occurrences(text: &[u8], pattern: &[u8]) -> Vec<u32> {
+    if pattern.is_empty() {
+        return (0..text.len() as u32).collect();
+    }
+    (0..text.len())
+        .filter(|&i| text[i..].starts_with(pattern))
+        .map(|i| i as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use era_string_store::StringStore;
+
+    #[test]
+    fn helpers_are_consistent() {
+        let body = b"banana";
+        assert_eq!(terminated(body).len(), 7);
+        assert_eq!(reference_tree(body).leaf_count(), 7);
+        assert_eq!(scan_occurrences(&terminated(body), b"an"), vec![1, 3]);
+        assert_eq!(small_block_store(body).len(), 7);
+        assert_eq!(dna_store(b"ACGT").len(), 5);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * ERA builds exactly the suffix tree of its input, for arbitrary strings,
+//!   alphabets and memory budgets;
+//! * the lexicographic leaf order equals an independently computed suffix
+//!   array;
+//! * queries agree with brute-force scanning;
+//! * the suffix-array substrate agrees with direct sorting;
+//! * serialization round-trips.
+
+use era::{EraConfig, HorizontalMethod, RangePolicy};
+use era_string_store::InMemoryStore;
+use era_suffix_array::{lcp_kasai, suffix_array};
+use era_suffix_tree::{validate_partitioned, validate_suffix_tree};
+use era_tests::{scan_occurrences, terminated};
+use proptest::prelude::*;
+
+/// Arbitrary bodies over small alphabets (small alphabets maximise repeat
+/// structure and therefore stress the branching logic hardest).
+fn body_strategy() -> impl Strategy<Value = Vec<u8>> {
+    let dna = proptest::collection::vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], 1..200);
+    let binary = proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b')], 1..200);
+    let ascii = proptest::collection::vec(33u8..127u8, 1..120);
+    prop_oneof![dna, binary, ascii]
+}
+
+fn config_strategy() -> impl Strategy<Value = EraConfig> {
+    (
+        2_000usize..40_000,
+        1usize..64,
+        prop_oneof![
+            Just(RangePolicy::Elastic),
+            (1usize..40).prop_map(RangePolicy::Fixed)
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        prop_oneof![Just(HorizontalMethod::StringAndMemory), Just(HorizontalMethod::StringOnly)],
+    )
+        .prop_map(|(budget, r_kb, range_policy, grouping, seek, horizontal)| EraConfig {
+            memory_budget: budget,
+            r_buffer_size: Some(r_kb * 16),
+            input_buffer_size: 64,
+            trie_area: 64,
+            range_policy,
+            group_virtual_trees: grouping,
+            seek_optimization: seek,
+            horizontal,
+            min_range: 1,
+            ..EraConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn era_builds_the_suffix_tree_of_arbitrary_strings(
+        body in body_strategy(),
+        config in config_strategy(),
+    ) {
+        let text = terminated(&body);
+        let store = InMemoryStore::from_body_inferred(&body).unwrap()
+            .with_block_size(32).unwrap();
+        let (tree, report) = era::construct_serial(&store, &config).unwrap();
+        // Structural invariants and exact leaf coverage.
+        validate_partitioned(&tree, &text).unwrap();
+        prop_assert_eq!(tree.leaf_count(), text.len());
+        // Lexicographic leaf order == suffix array computed independently.
+        let sa = suffix_array(&text);
+        prop_assert_eq!(tree.lexicographic_suffixes(), sa);
+        // The report is self-consistent.
+        prop_assert!(report.partitions >= 1);
+        prop_assert!(report.virtual_trees <= report.partitions);
+        prop_assert!(report.io.bytes_read > 0);
+    }
+
+    #[test]
+    fn queries_agree_with_scanning(
+        body in body_strategy(),
+        pattern in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let text = terminated(&body);
+        let store = InMemoryStore::from_body_inferred(&body).unwrap();
+        let config = EraConfig {
+            memory_budget: 16 << 10,
+            r_buffer_size: Some(512),
+            input_buffer_size: 64,
+            trie_area: 64,
+            ..EraConfig::default()
+        };
+        let (tree, _) = era::construct_serial(&store, &config).unwrap();
+        // Query with a pattern sampled from the text (guaranteed hits) and the
+        // arbitrary pattern (usually a miss).
+        let sampled: Vec<u8> = if body.len() >= 3 {
+            body[body.len() / 3..(body.len() / 3 + 3).min(body.len())].to_vec()
+        } else {
+            body.clone()
+        };
+        for p in [sampled.as_slice(), pattern.as_slice()] {
+            let expected = scan_occurrences(&text, p);
+            prop_assert_eq!(tree.find_all(&text, p), expected.clone());
+            prop_assert_eq!(tree.count(&text, p), expected.len());
+        }
+    }
+
+    #[test]
+    fn suffix_array_substrate_matches_direct_sort(body in body_strategy()) {
+        let text = terminated(&body);
+        let sa = suffix_array(&text);
+        let mut direct: Vec<u32> = (0..text.len() as u32).collect();
+        direct.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+        prop_assert_eq!(&sa, &direct);
+        // LCP sanity: lcp[i] is the exact common-prefix length.
+        let lcp = lcp_kasai(&text, &sa);
+        for i in 1..sa.len() {
+            let a = &text[sa[i - 1] as usize..];
+            let b = &text[sa[i] as usize..];
+            let expect = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count() as u32;
+            prop_assert_eq!(lcp[i], expect);
+        }
+    }
+
+    #[test]
+    fn naive_reference_tree_is_always_valid(body in body_strategy()) {
+        let text = terminated(&body);
+        let tree = era_suffix_tree::naive_suffix_tree(&text);
+        validate_suffix_tree(&tree, &text, Some(text.len())).unwrap();
+    }
+
+    #[test]
+    fn tree_serialization_roundtrips(body in body_strategy()) {
+        let text = terminated(&body);
+        let tree = era_suffix_tree::naive_suffix_tree(&text);
+        let mut buf = Vec::new();
+        era_suffix_tree::serialize::write_tree(&mut buf, &tree).unwrap();
+        let back = era_suffix_tree::serialize::read_tree(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(tree, back);
+    }
+
+    #[test]
+    fn longest_repeated_substring_is_correct(body in body_strategy()) {
+        let text = terminated(&body);
+        let store = InMemoryStore::from_body_inferred(&body).unwrap();
+        let config = EraConfig {
+            memory_budget: 8 << 10,
+            r_buffer_size: Some(512),
+            input_buffer_size: 64,
+            trie_area: 64,
+            ..EraConfig::default()
+        };
+        let (tree, _) = era::construct_serial(&store, &config).unwrap();
+        match tree.longest_repeated_substring(&text) {
+            None => {
+                // No substring of length >= 1 repeats.
+                for i in 0..body.len() {
+                    let count = scan_occurrences(&text, &body[i..i + 1]).len();
+                    prop_assert!(count <= 1, "symbol {:?} repeats", body[i]);
+                }
+            }
+            Some((off, len)) => {
+                let substr = &text[off as usize..(off + len) as usize];
+                // It really does occur at least twice...
+                prop_assert!(scan_occurrences(&text, substr).len() >= 2);
+                // ...and nothing longer does (check all substrings one longer).
+                let longer = len as usize + 1;
+                for i in 0..body.len().saturating_sub(longer - 1) {
+                    let candidate = &text[i..i + longer];
+                    prop_assert!(
+                        scan_occurrences(&text, candidate).len() < 2,
+                        "a longer repeat {:?} exists", candidate
+                    );
+                }
+            }
+        }
+    }
+}
