@@ -146,12 +146,8 @@ mod tests {
 
     #[test]
     fn io_grows_as_memory_shrinks() {
-        let body: Vec<u8> = b"ACGTTGCAGGCTAAGCTTACGGATCAGTCAGCATCAG"
-            .iter()
-            .cycle()
-            .take(1500)
-            .copied()
-            .collect();
+        let body: Vec<u8> =
+            b"ACGTTGCAGGCTAAGCTTACGGATCAGTCAGCATCAG".iter().cycle().take(1500).copied().collect();
         let mk_store = || InMemoryStore::from_body(&body, Alphabet::dna()).unwrap();
         let small = b2st_construct(
             &mk_store(),

@@ -147,23 +147,22 @@ fn construct_impl(
             partitions.extend(build_one(prefix)?);
         }
     } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
         let results: Result<Vec<(usize, Vec<Partition>, NodeReport)>, era::EraError> =
-            crossbeam::scope(|scope| {
-                let (tx, rx) = crossbeam::channel::unbounded::<Vec<u8>>();
-                for (prefix, _) in &prefixes {
-                    tx.send(prefix.clone()).expect("queue open");
-                }
-                drop(tx);
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|worker| {
-                        let rx = rx.clone();
+                        let next = &next;
+                        let prefixes = &prefixes;
                         let build_one = &build_one;
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let t = Instant::now();
                             let mut built = Vec::new();
                             let mut groups = 0usize;
-                            while let Ok(prefix) = rx.recv() {
-                                built.extend(build_one(&prefix)?);
+                            loop {
+                                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                let Some((prefix, _)) = prefixes.get(idx) else { break };
+                                built.extend(build_one(prefix)?);
                                 groups += 1;
                             }
                             Ok::<_, era::EraError>((
@@ -181,8 +180,7 @@ fn construct_impl(
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("worker must not panic")).collect()
-            })
-            .expect("scope must not panic");
+            });
         for (_, built, mut report) in results? {
             report.partitions = built.len();
             partitions.extend(built);

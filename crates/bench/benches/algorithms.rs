@@ -8,7 +8,10 @@ use era_workloads::{DatasetKind, DatasetSpec};
 
 fn bench_algorithms_memory(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10a_algorithms_vs_memory");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     let size = 24usize << 10;
     let spec = DatasetSpec::new(DatasetKind::GenomeLike, size, 13);
     let store = make_disk_store(&spec);
@@ -28,7 +31,10 @@ fn bench_algorithms_memory(c: &mut Criterion) {
 
 fn bench_algorithms_alphabet(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_alphabets");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     let size = 24usize << 10;
     let budget = 48usize << 10;
     for (kind, name) in [
@@ -62,5 +68,10 @@ fn bench_in_memory_reference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithms_memory, bench_algorithms_alphabet, bench_in_memory_reference);
+criterion_group!(
+    benches,
+    bench_algorithms_memory,
+    bench_algorithms_alphabet,
+    bench_in_memory_reference
+);
 criterion_main!(benches);

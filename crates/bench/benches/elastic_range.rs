@@ -9,7 +9,10 @@ use era_workloads::{DatasetKind, DatasetSpec};
 
 fn bench_range_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9b_elastic_range");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     let size = 32usize << 10;
     let spec = DatasetSpec::new(DatasetKind::GenomeLike, size, 5);
     let store = make_disk_store(&spec);

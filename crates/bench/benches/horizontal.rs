@@ -8,7 +8,10 @@ use era_workloads::{DatasetKind, DatasetSpec};
 
 fn bench_horizontal(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_horizontal_variants");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     for &size in &[16usize << 10, 48 << 10] {
         let spec = DatasetSpec::new(DatasetKind::UniformDna, size, 7);
         let store = make_disk_store(&spec);

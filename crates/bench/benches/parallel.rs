@@ -10,17 +10,24 @@ use era_workloads::{alphabet_for, generate, DatasetKind, DatasetSpec};
 
 fn bench_shared_memory(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_shared_memory_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     let size = 48usize << 10;
     let spec = DatasetSpec::new(DatasetKind::GenomeLike, size, 29);
     let store = make_disk_store(&spec);
     let budget = 96usize << 10;
     for &threads in &[1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("era", threads), &threads, |b, &t| {
-            b.iter(|| run_algorithm(Algorithm::EraParallel(t), &store, budget).expect("construction"));
+            b.iter(|| {
+                run_algorithm(Algorithm::EraParallel(t), &store, budget).expect("construction")
+            });
         });
         group.bench_with_input(BenchmarkId::new("pwavefront", threads), &threads, |b, &t| {
-            b.iter(|| run_algorithm(Algorithm::PWaveFront(t), &store, budget).expect("construction"));
+            b.iter(|| {
+                run_algorithm(Algorithm::PWaveFront(t), &store, budget).expect("construction")
+            });
         });
     }
     group.finish();
@@ -28,7 +35,10 @@ fn bench_shared_memory(c: &mut Criterion) {
 
 fn bench_shared_nothing(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_shared_nothing");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     let size = 48usize << 10;
     let spec = DatasetSpec::new(DatasetKind::GenomeLike, size, 31);
     let body = generate(&spec);

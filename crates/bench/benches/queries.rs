@@ -9,7 +9,10 @@ use era_workloads::{generate, DatasetKind, DatasetSpec};
 
 fn bench_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("queries");
-    group.sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     let spec = DatasetSpec::new(DatasetKind::GenomeLike, 64 << 10, 17);
     let body = generate(&spec);
     let index = SuffixIndex::builder().memory_budget(1 << 20).build_from_bytes(&body).unwrap();

@@ -10,7 +10,10 @@ use era_workloads::{generate, DatasetKind, DatasetSpec};
 
 fn bench_suffix_array(c: &mut Criterion) {
     let mut group = c.benchmark_group("suffix_array_substrate");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     for &size in &[16usize << 10, 64 << 10] {
         let spec = DatasetSpec::new(DatasetKind::GenomeLike, size, 43);
         let mut text = generate(&spec);

@@ -11,7 +11,10 @@ use era_workloads::{DatasetKind, DatasetSpec};
 
 fn bench_grouping(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9a_virtual_trees");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     let size = 32usize << 10;
     let spec = DatasetSpec::new(DatasetKind::UniformDna, size, 3);
     let store = make_disk_store(&spec);
@@ -39,7 +42,9 @@ fn bench_vertical_phase(c: &mut Criterion) {
     let store = make_disk_store(&spec);
     for &fm in &[256usize, 1024, 8192] {
         group.bench_with_input(BenchmarkId::new("fm", fm), &fm, |b, &fm| {
-            b.iter(|| vertical_partition(&store as &dyn StringStore, fm, true).expect("partitioning"));
+            b.iter(|| {
+                vertical_partition(&store as &dyn StringStore, fm, true).expect("partitioning")
+            });
         });
     }
     group.finish();

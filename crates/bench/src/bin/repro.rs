@@ -23,18 +23,12 @@ fn main() {
 
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::quick() } else { Scale::full() };
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let out_path = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
 
     let mut selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
-        .filter(|a| {
-            out_path.as_deref() != Some(a.as_str())
-        })
+        .filter(|a| out_path.as_deref() != Some(a.as_str()))
         .cloned()
         .collect();
     if selected.iter().any(|a| a == "list") {

@@ -160,11 +160,7 @@ fn table2(scale: &Scale) -> ExperimentResult {
             &alg.label(),
             class,
             &report,
-            format!(
-                "seq. fraction {:.2}, parallel: {}",
-                report.io.sequential_fraction(),
-                parallel
-            ),
+            format!("seq. fraction {:.2}, parallel: {}", report.io.sequential_fraction(), parallel),
         ));
     }
     ExperimentResult {
@@ -423,7 +419,8 @@ fn fig12(scale: &Scale, kind: DatasetKind, id: &str, vary_seek: bool) -> Experim
         if t == 1 {
             era_base = Some(report.elapsed);
         }
-        let speedup = era_base.map(|b| b.as_secs_f64() / report.elapsed.as_secs_f64()).unwrap_or(1.0);
+        let speedup =
+            era_base.map(|b| b.as_secs_f64() / report.elapsed.as_secs_f64()).unwrap_or(1.0);
         let label = if vary_seek { "ERA-No Seek" } else { "ERA" };
         rows.push(row(label, &format!("{t} cores"), &report, format!("speed-up {speedup:.2}x")));
 

@@ -75,7 +75,7 @@ mod tests {
         assert!(EraError::input("oops").to_string().contains("oops"));
         let store_err: EraError = StoreError::InvalidText("x".into()).into();
         assert!(store_err.to_string().contains("storage"));
-        let io_err: EraError = std::io::Error::new(std::io::ErrorKind::Other, "disk").into();
+        let io_err: EraError = std::io::Error::other("disk").into();
         assert!(io_err.to_string().contains("disk"));
     }
 }

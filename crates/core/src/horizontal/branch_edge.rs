@@ -230,7 +230,12 @@ mod tests {
     use era_suffix_tree::{naive_suffix_tree, validate_suffix_tree};
 
     fn params(policy: RangePolicy) -> HorizontalParams {
-        HorizontalParams { r_capacity: 64, range_policy: policy, min_range: 1, seek_optimization: false }
+        HorizontalParams {
+            r_capacity: 64,
+            range_policy: policy,
+            min_range: 1,
+            seek_optimization: false,
+        }
     }
 
     fn occurrences_of(text: &[u8], prefix: &[u8]) -> Vec<u32> {
@@ -248,8 +253,13 @@ mod tests {
         };
         let occ = occurrences_of(&text, b"TG");
         for policy in [RangePolicy::Fixed(4), RangePolicy::Fixed(1), RangePolicy::Elastic] {
-            let parts =
-                compute_group_str(&store, &[b"TG".to_vec()], &[occ.clone()], &params(policy)).unwrap();
+            let parts = compute_group_str(
+                &store,
+                &[b"TG".to_vec()],
+                std::slice::from_ref(&occ),
+                &params(policy),
+            )
+            .unwrap();
             let tree = &parts[0].tree;
             validate_suffix_tree(tree, &text, Some(7)).unwrap();
             let reference = naive_suffix_tree(&text);
@@ -281,8 +291,10 @@ mod tests {
             let occ = occurrences_of(&text, prefix);
             let p = params(RangePolicy::Fixed(3));
             let via_str =
-                compute_group_str(&store, &[prefix.to_vec()], &[occ.clone()], &p).unwrap();
-            let via_mem = prepare_group(&store, &[prefix.to_vec()], &[occ.clone()], &p).unwrap();
+                compute_group_str(&store, &[prefix.to_vec()], std::slice::from_ref(&occ), &p)
+                    .unwrap();
+            let via_mem =
+                prepare_group(&store, &[prefix.to_vec()], std::slice::from_ref(&occ), &p).unwrap();
             let mem_tree = build_subtree(text.len(), &via_mem[0]);
             validate_suffix_tree(&via_str[0].tree, &text, Some(occ.len())).unwrap();
             assert_eq!(
@@ -298,13 +310,9 @@ mod tests {
     fn singleton_prefix_creates_single_leaf() {
         let body = b"ACGTACGA";
         let store = InMemoryStore::from_body(body, Alphabet::dna()).unwrap();
-        let parts = compute_group_str(
-            &store,
-            &[b"GA".to_vec()],
-            &[vec![6]],
-            &params(RangePolicy::Elastic),
-        )
-        .unwrap();
+        let parts =
+            compute_group_str(&store, &[b"GA".to_vec()], &[vec![6]], &params(RangePolicy::Elastic))
+                .unwrap();
         assert_eq!(parts[0].tree.leaf_count(), 1);
         assert_eq!(parts[0].tree.lexicographic_suffixes(), vec![6]);
     }
@@ -325,7 +333,13 @@ mod tests {
         compute_group_str(&store_grouped, &prefixes, &occs, &p).unwrap();
         let grouped_scans = store_grouped.stats().snapshot().full_scans;
         for (prefix, occ) in prefixes.iter().zip(occs.iter()) {
-            compute_group_str(&store_single, &[prefix.clone()], &[occ.clone()], &p).unwrap();
+            compute_group_str(
+                &store_single,
+                std::slice::from_ref(prefix),
+                std::slice::from_ref(occ),
+                &p,
+            )
+            .unwrap();
         }
         let single_scans = store_single.stats().snapshot().full_scans;
         assert!(grouped_scans < single_scans);

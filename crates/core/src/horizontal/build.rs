@@ -20,7 +20,12 @@ pub fn build_subtree(text_len: usize, prepared: &PreparedSubTree) -> SuffixTree 
         .first()
         .copied()
         .expect("vertical partitioning never produces an empty prefix");
-    era_suffix_tree::assemble_from_sorted(text_len, &prepared.leaves, &prepared.branching, first_char)
+    era_suffix_tree::assemble_from_sorted(
+        text_len,
+        &prepared.leaves,
+        &prepared.branching,
+        first_char,
+    )
 }
 
 /// Builds the sub-tree and wraps it as a [`Partition`] of the final index.
@@ -54,7 +59,8 @@ mod tests {
             min_range: 1,
             seek_optimization: false,
         };
-        let prepared = prepare_group(&store, &[b"TG".to_vec()], &[occ.clone()], &params).unwrap();
+        let prepared =
+            prepare_group(&store, &[b"TG".to_vec()], std::slice::from_ref(&occ), &params).unwrap();
         let tree = build_subtree(text.len(), &prepared[0]);
         validate_suffix_tree(&tree, &text, Some(occ.len())).unwrap();
 
@@ -78,11 +84,8 @@ mod tests {
 
     #[test]
     fn single_leaf_partition() {
-        let prepared = PreparedSubTree {
-            prefix: b"GA".to_vec(),
-            leaves: vec![6],
-            branching: vec![],
-        };
+        let prepared =
+            PreparedSubTree { prefix: b"GA".to_vec(), leaves: vec![6], branching: vec![] };
         let part = build_partition(9, &prepared);
         assert_eq!(part.prefix, b"GA");
         assert_eq!(part.tree.leaf_count(), 1);

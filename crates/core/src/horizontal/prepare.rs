@@ -265,7 +265,12 @@ mod tests {
     use era_string_store::{Alphabet, InMemoryStore};
 
     fn params(r_capacity: usize, policy: RangePolicy) -> HorizontalParams {
-        HorizontalParams { r_capacity, range_policy: policy, min_range: 1, seek_optimization: false }
+        HorizontalParams {
+            r_capacity,
+            range_policy: policy,
+            min_range: 1,
+            seek_optimization: false,
+        }
     }
 
     fn occurrences_of(text: &[u8], prefix: &[u8]) -> Vec<u32> {
@@ -285,13 +290,9 @@ mod tests {
         };
         let occ = occurrences_of(&text, b"TG");
         assert_eq!(occ, vec![0, 3, 6, 9, 14, 17, 20]);
-        let out = prepare_group(
-            &store,
-            &[b"TG".to_vec()],
-            &[occ],
-            &params(1024, RangePolicy::Fixed(4)),
-        )
-        .unwrap();
+        let out =
+            prepare_group(&store, &[b"TG".to_vec()], &[occ], &params(1024, RangePolicy::Fixed(4)))
+                .unwrap();
         let prepared = &out[0];
         // Final L of Trace 3 (the paper sorts the terminal *after* the
         // letters; with the conventional terminal-first order the two suffixes
@@ -328,7 +329,7 @@ mod tests {
                 let out = prepare_group(
                     &store,
                     &[prefix.to_vec()],
-                    &[occ.clone()],
+                    std::slice::from_ref(&occ),
                     &params(64, policy),
                 )
                 .unwrap();
@@ -343,7 +344,8 @@ mod tests {
                 for (i, b) in out[0].branching.iter().enumerate() {
                     let a = &text[leaves[i] as usize..];
                     let c = &text[leaves[i + 1] as usize..];
-                    let expected = a.iter().zip(c.iter()).take_while(|(x, y)| x == y).count() as u32;
+                    let expected =
+                        a.iter().zip(c.iter()).take_while(|(x, y)| x == y).count() as u32;
                     assert_eq!(b.lcp, expected);
                 }
             }
@@ -369,8 +371,13 @@ mod tests {
 
         let mut single_results = Vec::new();
         for (prefix, occ) in prefixes.iter().zip(occs.iter()) {
-            let out =
-                prepare_group(&store_single, &[prefix.clone()], &[occ.clone()], &p).unwrap();
+            let out = prepare_group(
+                &store_single,
+                std::slice::from_ref(prefix),
+                std::slice::from_ref(occ),
+                &p,
+            )
+            .unwrap();
             single_results.extend(out);
         }
         let single_scans = store_single.stats().snapshot().full_scans;
@@ -384,13 +391,9 @@ mod tests {
     fn single_occurrence_prefix() {
         let body = b"ACGTACGA";
         let store = InMemoryStore::from_body(body, Alphabet::dna()).unwrap();
-        let out = prepare_group(
-            &store,
-            &[b"GA".to_vec()],
-            &[vec![6]],
-            &params(16, RangePolicy::Elastic),
-        )
-        .unwrap();
+        let out =
+            prepare_group(&store, &[b"GA".to_vec()], &[vec![6]], &params(16, RangePolicy::Elastic))
+                .unwrap();
         assert_eq!(out[0].leaves, vec![6]);
         assert!(out[0].branching.is_empty());
     }
@@ -420,14 +423,14 @@ mod tests {
         let elastic = prepare_group(
             &store_elastic,
             &[b"GATTACA".to_vec()],
-            &[occ.clone()],
+            std::slice::from_ref(&occ),
             &params(4096, RangePolicy::Elastic),
         )
         .unwrap();
         let fixed = prepare_group(
             &store_fixed,
             &[b"GATTACA".to_vec()],
-            &[occ.clone()],
+            std::slice::from_ref(&occ),
             &params(4096, RangePolicy::Fixed(8)),
         )
         .unwrap();

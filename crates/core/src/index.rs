@@ -11,7 +11,7 @@ use std::sync::Arc;
 use era_string_store::{Alphabet, DiskStore, InMemoryStore, StringStore, TERMINAL};
 use era_suffix_tree::PartitionedSuffixTree;
 
-use crate::config::{EraConfig, HorizontalMethod, RangePolicy};
+use crate::config::{EraConfig, HorizontalMethod, RangePolicy, SchedulerKind};
 use crate::error::{EraError, EraResult};
 use crate::parallel_sm::construct_parallel_sm;
 use crate::report::ConstructionReport;
@@ -136,9 +136,19 @@ impl SuffixIndexBuilder {
         self
     }
 
-    /// Sets the number of worker threads (1 = serial).
+    /// Sets the number of worker threads (1 = serial). With the default
+    /// [`SchedulerKind::Auto`] this is what picks the scheduler: one thread
+    /// builds with the [`crate::SerialScheduler`], more than one with the
+    /// [`crate::SharedMemoryScheduler`].
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Forces a specific scheduler instead of deriving it from
+    /// [`Self::threads`].
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.config.scheduler = kind;
         self
     }
 
@@ -197,7 +207,11 @@ impl SuffixIndexBuilder {
     /// Builds the index over a string stored in a file (disk-based
     /// construction: the file is only read through block-sized sequential
     /// scans). The file must already be terminated with the byte `0`.
-    pub fn build_from_path(self, path: impl AsRef<Path>, alphabet: Alphabet) -> EraResult<SuffixIndex> {
+    pub fn build_from_path(
+        self,
+        path: impl AsRef<Path>,
+        alphabet: Alphabet,
+    ) -> EraResult<SuffixIndex> {
         let store = DiskStore::open(path, alphabet, self.config.input_buffer_size.max(4 << 10))?;
         self.build_from_store(&store, Vec::new())
     }
@@ -238,10 +252,11 @@ impl SuffixIndexBuilder {
         store: &S,
         separators: Vec<usize>,
     ) -> EraResult<SuffixIndex> {
-        let (tree, report) = if self.config.threads > 1 {
-            construct_parallel_sm(store, &self.config)?
-        } else {
-            construct_serial(store, &self.config)?
+        let (tree, report) = match self.config.scheduler_kind() {
+            SchedulerKind::SharedMemory => construct_parallel_sm(store, &self.config)?,
+            // `scheduler_kind` never returns `Auto`; it resolves to one of the
+            // concrete kinds.
+            SchedulerKind::Auto | SchedulerKind::Serial => construct_serial(store, &self.config)?,
         };
         let text = store.read_all()?;
         Ok(SuffixIndex { text: Arc::new(text), tree, report, separators })
@@ -255,10 +270,7 @@ mod tests {
     #[test]
     fn quickstart_queries() {
         let text = b"TGGTGGTGGTGCGGTGATGGTGC";
-        let index = SuffixIndex::builder()
-            .memory_budget(1 << 20)
-            .build_from_bytes(text)
-            .unwrap();
+        let index = SuffixIndex::builder().memory_budget(1 << 20).build_from_bytes(text).unwrap();
         assert_eq!(index.count(b"TG"), 7);
         assert_eq!(index.find_all(b"TGC"), vec![9, 20]);
         assert!(index.contains(b"GGTGATG"));
@@ -278,9 +290,7 @@ mod tests {
     fn generalized_lcs() {
         let a = b"the quick brown fox".to_vec();
         let b = b"a quick brown dog".to_vec();
-        let index = SuffixIndex::builder()
-            .build_generalized(&[&a, &b])
-            .unwrap();
+        let index = SuffixIndex::builder().build_generalized(&[&a, &b]).unwrap();
         let lcs = index.longest_common_substring().unwrap();
         assert_eq!(lcs, b" quick brown ");
     }

@@ -29,15 +29,45 @@
 //! assert!(index.count(&text[offset..offset + len]) >= 2);
 //! ```
 //!
+//! ## Architecture: one pipeline, pluggable schedulers
+//!
+//! The paper's serial (§4), shared-memory parallel (§5.1) and shared-nothing
+//! parallel (§5.2) algorithms are the same pipeline — vertical partitioning →
+//! per-virtual-tree occurrence scan → horizontal
+//! `SubTreePrepare`/`BuildSubTree` — differing only in *who runs which
+//! group*. That shared structure is captured once by
+//! [`pipeline::ConstructionPipeline`], which owns partitioning, timing and
+//! report assembly, and delegates group execution to a
+//! [`pipeline::GroupScheduler`]:
+//!
+//! * [`pipeline::SerialScheduler`] — every group on the calling thread;
+//! * [`pipeline::SharedMemoryScheduler`] — a worker pool pulling groups from
+//!   a shared queue against one store;
+//! * [`pipeline::SharedNothingScheduler`] — one private store per simulated
+//!   cluster node, longest-processing-time group assignment, no merge phase.
+//!
+//! [`construct_serial`], [`construct_parallel_sm`] and
+//! [`construct_shared_nothing`] are thin wrappers that pick a scheduler;
+//! [`SuffixIndexBuilder::threads`] routes through
+//! [`config::SchedulerKind`] so the right scheduler is chosen automatically.
+//! The scheduler trait is the seam future backends (async-I/O stores,
+//! distributed workers, batched query builds) plug into without touching the
+//! pipeline.
+//!
 //! ## Crate layout
 //!
 //! * [`config`] — every knob the paper evaluates (memory budget, `|R|`,
-//!   elastic vs static range, grouping, seek optimisation, threads).
+//!   elastic vs static range, grouping, seek optimisation, threads) plus the
+//!   [`config::SchedulerKind`] selection.
 //! * [`vertical`] — variable-length prefix partitioning + virtual trees (§4.1).
 //! * [`horizontal`] — `SubTreePrepare`/`BuildSubTree` and the ERA-str variant
 //!   (§4.2), including the elastic range (§4.4).
-//! * [`serial`], [`parallel_sm`], [`parallel_sn`] — the serial driver and the
-//!   two parallel drivers of §5 (shared-memory/shared-disk and shared-nothing).
+//! * [`pipeline`] — the unified [`pipeline::ConstructionPipeline`] and the
+//!   three [`pipeline::GroupScheduler`] implementations.
+//! * [`scan`] — sequential multi-pattern occurrence scans over the
+//!   zero-copy block cursor of `era-string-store`.
+//! * [`serial`], [`parallel_sm`], [`parallel_sn`] — the public driver entry
+//!   points of §4/§5, now thin wrappers over the pipeline.
 //! * [`SuffixIndex`] — the user-facing API combining construction and queries.
 
 #![warn(missing_docs)]
@@ -49,16 +79,21 @@ pub mod horizontal;
 pub mod index;
 pub mod parallel_sm;
 pub mod parallel_sn;
+pub mod pipeline;
 pub mod report;
 pub mod scan;
 pub mod serial;
 pub mod vertical;
 
-pub use config::{EraConfig, HorizontalMethod, MemoryLayout, RangePolicy};
+pub use config::{EraConfig, HorizontalMethod, MemoryLayout, RangePolicy, SchedulerKind};
 pub use error::{EraError, EraResult};
 pub use index::{SuffixIndex, SuffixIndexBuilder};
 pub use parallel_sm::construct_parallel_sm;
 pub use parallel_sn::{construct_shared_nothing, SharedNothingOptions};
+pub use pipeline::{
+    ConstructionPipeline, GroupScheduler, ScheduleOutcome, SerialScheduler, SharedMemoryScheduler,
+    SharedNothingScheduler,
+};
 pub use report::{ConstructionReport, NodeReport};
 pub use serial::construct_serial;
 pub use vertical::{vertical_partition, PrefixFrequency, VerticalPartitioning, VirtualTree};

@@ -1,24 +1,22 @@
-//! Shared-memory / shared-disk parallel construction (§5).
+//! Shared-memory / shared-disk parallel construction (§5) — a thin wrapper
+//! binding the [`ConstructionPipeline`](crate::pipeline::ConstructionPipeline)
+//! to a [`SharedMemoryScheduler`](crate::pipeline::SharedMemoryScheduler).
 //!
 //! This is the paper's multicore variant: a master performs vertical
 //! partitioning, then the virtual trees are distributed over worker threads
 //! that all read the *same* store (same disk, same memory bus). There is no
 //! merge phase — every virtual tree is an independent unit of work — so the
 //! only scalability limits are the shared I/O path and memory bus, exactly as
-//! discussed for Figure 12.
+//! discussed for Figure 12. The worker pool itself lives in
+//! [`crate::pipeline`]; this module only selects the scheduler.
 
-use std::time::Instant;
-
-use crossbeam::channel;
 use era_string_store::StringStore;
-use era_suffix_tree::{Partition, PartitionedSuffixTree};
+use era_suffix_tree::PartitionedSuffixTree;
 
 use crate::config::EraConfig;
-use crate::error::{EraError, EraResult};
-use crate::horizontal::HorizontalParams;
-use crate::report::{ConstructionReport, NodeReport};
-use crate::serial::{build_group, make_report};
-use crate::vertical::{vertical_partition, VirtualTree};
+use crate::error::EraResult;
+use crate::pipeline::{ConstructionPipeline, SharedMemoryScheduler};
+use crate::report::ConstructionReport;
 
 /// Builds the suffix tree using `config.threads` worker threads sharing one
 /// store.
@@ -26,92 +24,7 @@ pub fn construct_parallel_sm(
     store: &dyn StringStore,
     config: &EraConfig,
 ) -> EraResult<(PartitionedSuffixTree, ConstructionReport)> {
-    config.validate()?;
-    let layout = config.memory_layout(store.alphabet())?;
-    let threads = config.threads.max(1);
-    let start_all = Instant::now();
-    let io_start = store.stats().snapshot();
-
-    // --- Vertical partitioning runs on the master (its cost is low, §5). ---
-    let t0 = Instant::now();
-    let vertical = vertical_partition(store, layout.fm, config.group_virtual_trees)?;
-    let vertical_time = t0.elapsed();
-
-    // Each worker gets (memory / threads), mirroring the experimental setup of
-    // Figure 12 where the machine's RAM is divided equally among cores. The
-    // per-worker budget is reflected in the read-ahead capacity.
-    let params = HorizontalParams {
-        r_capacity: (layout.r_bytes / threads).max(1024),
-        range_policy: config.range_policy,
-        min_range: config.min_range,
-        seek_optimization: config.seek_optimization,
-    };
-
-    // --- Distribute the virtual trees over a work queue. ---
-    let t1 = Instant::now();
-    let (work_tx, work_rx) = channel::unbounded::<(usize, VirtualTree)>();
-    for (i, group) in vertical.groups.iter().cloned().enumerate() {
-        work_tx.send((i, group)).expect("queue is open");
-    }
-    drop(work_tx);
-
-    let mut partitions: Vec<Partition> = Vec::with_capacity(vertical.partition_count());
-    let mut node_reports: Vec<NodeReport> = Vec::new();
-
-    let results: Result<Vec<(usize, Vec<Partition>, NodeReport)>, EraError> =
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for worker in 0..threads {
-                let work_rx = work_rx.clone();
-                let method = config.horizontal;
-                handles.push(scope.spawn(move |_| {
-                    let worker_start = Instant::now();
-                    let mut built: Vec<Partition> = Vec::new();
-                    let mut groups_done = 0usize;
-                    while let Ok((_idx, group)) = work_rx.recv() {
-                        let parts = build_group(store, &group, &params, method)?;
-                        built.extend(parts);
-                        groups_done += 1;
-                    }
-                    let report = NodeReport {
-                        node: worker,
-                        virtual_trees: groups_done,
-                        partitions: built.len(),
-                        elapsed: worker_start.elapsed(),
-                        io: Default::default(),
-                    };
-                    Ok::<_, EraError>((worker, built, report))
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread must not panic"))
-                .collect()
-        })
-        .expect("crossbeam scope must not panic");
-
-    for (_worker, built, report) in results? {
-        partitions.extend(built);
-        node_reports.push(report);
-    }
-    node_reports.sort_by_key(|r| r.node);
-    let horizontal_time = t1.elapsed();
-
-    let tree = PartitionedSuffixTree::new(store.len(), partitions);
-    let mut report = make_report(
-        if threads > 1 { "era-parallel-sm" } else { "era" },
-        store,
-        config,
-        layout.fm,
-        &vertical,
-        &tree,
-        start_all.elapsed(),
-        vertical_time,
-        horizontal_time,
-        io_start,
-    );
-    report.per_node = node_reports;
-    Ok((tree, report))
+    ConstructionPipeline::new(config).run(&SharedMemoryScheduler::new(store, config.threads))
 }
 
 #[cfg(test)]

@@ -1,4 +1,6 @@
-//! Shared-nothing parallel construction (§5).
+//! Shared-nothing parallel construction (§5) — a thin wrapper binding the
+//! [`ConstructionPipeline`](crate::pipeline::ConstructionPipeline) to a
+//! [`SharedNothingScheduler`](crate::pipeline::SharedNothingScheduler).
 //!
 //! In the paper this version runs on a cluster: every node has its own disk
 //! and memory, the master broadcasts the input string and then assigns groups
@@ -11,39 +13,18 @@
 //! configurable bandwidth. This preserves exactly what the paper's
 //! shared-nothing experiments measure — per-node work, load balance,
 //! makespan, speed-up and the transfer overhead (Table 3, Figure 13) — while
-//! running on a single machine.
-
-use std::time::{Duration, Instant};
+//! running on a single machine. The node topology and group assignment live
+//! in [`crate::pipeline`]; this module only selects the scheduler.
 
 use era_string_store::StringStore;
-use era_suffix_tree::{Partition, PartitionedSuffixTree};
+use era_suffix_tree::PartitionedSuffixTree;
 
 use crate::config::EraConfig;
-use crate::error::{EraError, EraResult};
-use crate::horizontal::HorizontalParams;
-use crate::report::{ConstructionReport, NodeReport};
-use crate::serial::{build_group, make_report};
-use crate::vertical::{vertical_partition, VirtualTree};
+use crate::error::EraResult;
+use crate::pipeline::{ConstructionPipeline, SharedNothingScheduler};
+use crate::report::ConstructionReport;
 
-/// Options specific to the shared-nothing simulation.
-#[derive(Debug, Clone, Copy)]
-pub struct SharedNothingOptions {
-    /// Simulated broadcast bandwidth in bytes per second (the paper measures
-    /// ~2.3 min to push the human genome through a slow switch). `None`
-    /// disables the transfer-time model.
-    pub transfer_bandwidth: Option<f64>,
-    /// Whether the nodes actually run concurrently as threads (`true`) or are
-    /// executed one after another (`false`, useful for deterministic I/O
-    /// accounting in tests and benchmarks). The reported per-node times are
-    /// wall-clock either way; the makespan is their maximum.
-    pub concurrent: bool,
-}
-
-impl Default for SharedNothingOptions {
-    fn default() -> Self {
-        SharedNothingOptions { transfer_bandwidth: None, concurrent: true }
-    }
-}
+pub use crate::pipeline::SharedNothingOptions;
 
 /// Builds the suffix tree on a simulated shared-nothing cluster.
 ///
@@ -57,116 +38,15 @@ pub fn construct_shared_nothing<S: StringStore>(
     config: &EraConfig,
     options: &SharedNothingOptions,
 ) -> EraResult<(PartitionedSuffixTree, ConstructionReport)> {
-    if node_stores.is_empty() {
-        return Err(EraError::config("need at least one node store"));
-    }
-    config.validate()?;
-    let master = &node_stores[0];
-    let text_len = master.len();
-    if node_stores.iter().any(|s| s.len() != text_len) {
-        return Err(EraError::config("every node must hold the same string"));
-    }
-    let layout = config.memory_layout(master.alphabet())?;
-    let nodes = node_stores.len();
-    let start_all = Instant::now();
-    let io_starts: Vec<_> = node_stores.iter().map(|s| s.stats().snapshot()).collect();
-
-    // --- Master: vertical partitioning (not parallelised, §5). ---
-    let t0 = Instant::now();
-    let vertical = vertical_partition(master, layout.fm, config.group_virtual_trees)?;
-    let vertical_time = t0.elapsed();
-
-    // --- Assign groups to nodes: largest group first, always to the node with
-    // the least assigned frequency (longest-processing-time heuristic). ---
-    let mut order: Vec<&VirtualTree> = vertical.groups.iter().collect();
-    order.sort_by_key(|g| std::cmp::Reverse(g.total_frequency()));
-    let mut assignments: Vec<Vec<VirtualTree>> = vec![Vec::new(); nodes];
-    let mut load = vec![0u64; nodes];
-    for group in order {
-        let target = (0..nodes).min_by_key(|&n| load[n]).expect("at least one node");
-        load[target] += group.total_frequency().max(1);
-        assignments[target].push(group.clone());
-    }
-
-    let params = HorizontalParams {
-        r_capacity: layout.r_bytes,
-        range_policy: config.range_policy,
-        min_range: config.min_range,
-        seek_optimization: config.seek_optimization,
-    };
-
-    // --- Each node builds its groups against its private store. ---
-    let t1 = Instant::now();
-    let run_node = |node: usize| -> EraResult<(Vec<Partition>, NodeReport)> {
-        let node_start = Instant::now();
-        let store = &node_stores[node];
-        let mut built = Vec::new();
-        for group in &assignments[node] {
-            built.extend(build_group(store, group, &params, config.horizontal)?);
-        }
-        let report = NodeReport {
-            node,
-            virtual_trees: assignments[node].len(),
-            partitions: built.len(),
-            elapsed: node_start.elapsed(),
-            io: store.stats().snapshot().since(&io_starts[node]),
-        };
-        Ok((built, report))
-    };
-
-    let mut partitions: Vec<Partition> = Vec::with_capacity(vertical.partition_count());
-    let mut node_reports: Vec<NodeReport> = Vec::with_capacity(nodes);
-    if options.concurrent && nodes > 1 {
-        let results: Result<Vec<_>, EraError> = crossbeam::scope(|scope| {
-            let handles: Vec<_> =
-                (0..nodes).map(|node| scope.spawn(move |_| run_node(node))).collect();
-            handles.into_iter().map(|h| h.join().expect("node thread must not panic")).collect()
-        })
-        .expect("crossbeam scope must not panic");
-        for (built, report) in results? {
-            partitions.extend(built);
-            node_reports.push(report);
-        }
-    } else {
-        for node in 0..nodes {
-            let (built, report) = run_node(node)?;
-            partitions.extend(built);
-            node_reports.push(report);
-        }
-    }
-    node_reports.sort_by_key(|r| r.node);
-    let horizontal_time = t1.elapsed();
-
-    let tree = PartitionedSuffixTree::new(text_len, partitions);
-    let mut report = make_report(
-        "era-shared-nothing",
-        master,
-        config,
-        layout.fm,
-        &vertical,
-        &tree,
-        start_all.elapsed(),
-        vertical_time,
-        horizontal_time,
-        io_starts[0],
-    );
-    // Aggregate I/O over every node (the master snapshot only covers node 0).
-    report.io = node_reports.iter().fold(Default::default(), |acc: era_string_store::IoSnapshot, n| {
-        acc.merged(&n.io)
-    });
-    report.per_node = node_reports;
-    report.string_transfer = match options.transfer_bandwidth {
-        Some(bw) if bw > 0.0 => {
-            Duration::from_secs_f64(text_len as f64 / bw)
-        }
-        _ => Duration::ZERO,
-    };
-    Ok((tree, report))
+    let scheduler = SharedNothingScheduler::new(node_stores, *options)?;
+    ConstructionPipeline::new(config).run(&scheduler)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+
     use era_string_store::{Alphabet, InMemoryStore};
     use era_suffix_tree::{naive_suffix_tree, validate_partitioned};
 
@@ -237,8 +117,7 @@ mod tests {
     fn transfer_time_is_modelled() {
         let body = b"GATTACAGATTACA";
         let node_stores = stores(body, 2);
-        let options =
-            SharedNothingOptions { transfer_bandwidth: Some(1000.0), concurrent: false };
+        let options = SharedNothingOptions { transfer_bandwidth: Some(1000.0), concurrent: false };
         let (_tree, report) = construct_shared_nothing(&node_stores, &config(), &options).unwrap();
         // 15 bytes at 1000 B/s = 15 ms.
         assert!(report.string_transfer >= Duration::from_millis(14));
@@ -252,6 +131,8 @@ mod tests {
         let err = construct_shared_nothing(&[a, b], &config(), &SharedNothingOptions::default());
         assert!(err.is_err());
         let empty: Vec<InMemoryStore> = Vec::new();
-        assert!(construct_shared_nothing(&empty, &config(), &SharedNothingOptions::default()).is_err());
+        assert!(
+            construct_shared_nothing(&empty, &config(), &SharedNothingOptions::default()).is_err()
+        );
     }
 }

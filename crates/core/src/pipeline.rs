@@ -1,0 +1,528 @@
+//! The unified construction pipeline (§4–§5).
+//!
+//! The paper's serial (§4), shared-memory parallel (§5.1) and shared-nothing
+//! parallel (§5.2) algorithms are the *same* pipeline — vertical partitioning
+//! → per-virtual-tree occurrence scan → horizontal `SubTreePrepare` /
+//! `BuildSubTree` — differing only in **who runs which group**. This module
+//! owns everything the three drivers share:
+//!
+//! * vertical partitioning on the master store,
+//! * the per-group work function ([`build_group`]),
+//! * phase timing and I/O accounting,
+//! * [`ConstructionReport`] assembly,
+//!
+//! and delegates exactly one decision to a [`GroupScheduler`]: how the virtual
+//! trees of the horizontal phase are executed. Three schedulers ship today —
+//! [`SerialScheduler`], [`SharedMemoryScheduler`] and
+//! [`SharedNothingScheduler`] — and the same seam is where future backends
+//! (async I/O stores, distributed workers, batched query builds) plug in
+//! without touching the pipeline again.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use era_string_store::{IoSnapshot, StringStore};
+use era_suffix_tree::{Partition, PartitionedSuffixTree};
+
+use crate::config::{EraConfig, HorizontalMethod, MemoryLayout};
+use crate::error::{EraError, EraResult};
+use crate::horizontal::branch_edge::compute_group_str;
+use crate::horizontal::build::build_partition;
+use crate::horizontal::prepare::prepare_group;
+use crate::horizontal::HorizontalParams;
+use crate::report::{ConstructionReport, NodeReport};
+use crate::scan::collect_occurrences;
+use crate::vertical::{vertical_partition, VirtualTree};
+
+/// Builds every sub-tree of one virtual tree — the unit of work every
+/// scheduler executes, against whichever store its worker owns.
+pub fn build_group(
+    store: &dyn StringStore,
+    group: &VirtualTree,
+    params: &HorizontalParams,
+    method: HorizontalMethod,
+) -> EraResult<Vec<Partition>> {
+    let prefixes: Vec<Vec<u8>> = group.prefixes.iter().map(|p| p.prefix.clone()).collect();
+    // One sequential scan collects the occurrence lists of every prefix in the
+    // group (the leaves of each sub-tree, in string order).
+    let occurrences = collect_occurrences(store, &prefixes)?;
+    match method {
+        HorizontalMethod::StringAndMemory => {
+            let prepared = prepare_group(store, &prefixes, &occurrences, params)?;
+            Ok(prepared
+                .iter()
+                .filter(|p| !p.leaves.is_empty())
+                .map(|p| build_partition(store.len(), p))
+                .collect())
+        }
+        HorizontalMethod::StringOnly => {
+            let parts = compute_group_str(store, &prefixes, &occurrences, params)?;
+            Ok(parts.into_iter().filter(|p| p.tree.leaf_count() > 0).collect())
+        }
+    }
+}
+
+/// What a scheduler produced for the horizontal phase.
+#[derive(Debug, Default)]
+pub struct ScheduleOutcome {
+    /// Every built sub-tree, in any order (the partitioned tree sorts them).
+    pub partitions: Vec<Partition>,
+    /// Per-worker / per-node breakdown (empty for the serial scheduler).
+    pub per_node: Vec<NodeReport>,
+}
+
+/// The scheduling seam of the pipeline: decides *who* runs each virtual tree.
+///
+/// Implementations own their worker topology (none, a thread pool over one
+/// shared store, or one private store per simulated cluster node) and are
+/// expected to capture their I/O baselines when constructed — the pipeline
+/// constructs the scheduler at run start, calls [`Self::run_groups`] once for
+/// the horizontal phase and then [`Self::total_io`] for report assembly.
+pub trait GroupScheduler {
+    /// The store the master phases (vertical partitioning, final tree length)
+    /// run against.
+    fn master_store(&self) -> &dyn StringStore;
+
+    /// Human-readable algorithm label for the [`ConstructionReport`].
+    fn algorithm(&self) -> &'static str;
+
+    /// Per-worker read-ahead capacity carved out of the memory layout.
+    fn worker_r_capacity(&self, layout: &MemoryLayout) -> usize {
+        layout.r_bytes
+    }
+
+    /// Executes every virtual tree and returns the built partitions plus the
+    /// per-worker breakdown.
+    fn run_groups(
+        &self,
+        groups: &[VirtualTree],
+        params: &HorizontalParams,
+        method: HorizontalMethod,
+    ) -> EraResult<ScheduleOutcome>;
+
+    /// Total I/O performed since the scheduler was created, across every
+    /// store it touches.
+    fn total_io(&self, outcome: &ScheduleOutcome) -> IoSnapshot;
+
+    /// Simulated time to distribute the input string to the workers
+    /// (non-zero only for the shared-nothing scheduler).
+    fn string_transfer(&self) -> Duration {
+        Duration::ZERO
+    }
+}
+
+/// The driver shared by every construction entry point: runs vertical
+/// partitioning, hands the virtual trees to a [`GroupScheduler`], and
+/// assembles the [`ConstructionReport`].
+pub struct ConstructionPipeline<'a> {
+    config: &'a EraConfig,
+}
+
+impl<'a> ConstructionPipeline<'a> {
+    /// Creates a pipeline over a validated configuration.
+    pub fn new(config: &'a EraConfig) -> Self {
+        ConstructionPipeline { config }
+    }
+
+    /// Runs the full construction with the given scheduler.
+    pub fn run(
+        &self,
+        scheduler: &dyn GroupScheduler,
+    ) -> EraResult<(PartitionedSuffixTree, ConstructionReport)> {
+        self.config.validate()?;
+        let master = scheduler.master_store();
+        let layout = self.config.memory_layout(master.alphabet())?;
+        let start_all = Instant::now();
+
+        // --- Vertical partitioning (§4.1) always runs on the master: its cost
+        // is low (§5) and it determines the work descriptors for every
+        // scheduler. ---
+        let t0 = Instant::now();
+        let vertical = vertical_partition(master, layout.fm, self.config.group_virtual_trees)?;
+        let vertical_time = t0.elapsed();
+
+        // --- Horizontal partitioning (§4.2): the scheduler decides who runs
+        // which group. ---
+        let params = HorizontalParams {
+            r_capacity: scheduler.worker_r_capacity(&layout),
+            range_policy: self.config.range_policy,
+            min_range: self.config.min_range,
+            seek_optimization: self.config.seek_optimization,
+        };
+        let t1 = Instant::now();
+        let outcome = scheduler.run_groups(&vertical.groups, &params, self.config.horizontal)?;
+        let horizontal_time = t1.elapsed();
+
+        let io = scheduler.total_io(&outcome);
+        let tree = PartitionedSuffixTree::new(master.len(), outcome.partitions);
+        let report = ConstructionReport {
+            algorithm: scheduler.algorithm().to_string(),
+            text_len: master.len(),
+            memory_budget: self.config.memory_budget,
+            fm: layout.fm,
+            elapsed: start_all.elapsed(),
+            vertical_time,
+            horizontal_time,
+            vertical_scans: vertical.scans,
+            partitions: vertical.partition_count(),
+            virtual_trees: vertical.group_count(),
+            io,
+            tree: tree.stats(),
+            per_node: outcome.per_node,
+            string_transfer: scheduler.string_transfer(),
+        };
+        Ok((tree, report))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serial scheduler (§4)
+// ---------------------------------------------------------------------------
+
+/// Runs every virtual tree on the calling thread against one store.
+pub struct SerialScheduler<'a> {
+    store: &'a dyn StringStore,
+    io_start: IoSnapshot,
+}
+
+impl<'a> SerialScheduler<'a> {
+    /// Creates the scheduler, capturing the I/O baseline.
+    pub fn new(store: &'a dyn StringStore) -> Self {
+        SerialScheduler { io_start: store.stats().snapshot(), store }
+    }
+}
+
+impl GroupScheduler for SerialScheduler<'_> {
+    fn master_store(&self) -> &dyn StringStore {
+        self.store
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "era"
+    }
+
+    fn run_groups(
+        &self,
+        groups: &[VirtualTree],
+        params: &HorizontalParams,
+        method: HorizontalMethod,
+    ) -> EraResult<ScheduleOutcome> {
+        let mut partitions = Vec::new();
+        for group in groups {
+            partitions.extend(build_group(self.store, group, params, method)?);
+        }
+        Ok(ScheduleOutcome { partitions, per_node: Vec::new() })
+    }
+
+    fn total_io(&self, _outcome: &ScheduleOutcome) -> IoSnapshot {
+        self.store.stats().snapshot().since(&self.io_start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-memory scheduler (§5.1)
+// ---------------------------------------------------------------------------
+
+/// Distributes the virtual trees over a pool of worker threads that all read
+/// the *same* store (same disk, same memory bus) — the paper's multicore
+/// variant. There is no merge phase; the only scalability limits are the
+/// shared I/O path and memory bus, exactly as discussed for Figure 12.
+pub struct SharedMemoryScheduler<'a> {
+    store: &'a dyn StringStore,
+    threads: usize,
+    io_start: IoSnapshot,
+}
+
+impl<'a> SharedMemoryScheduler<'a> {
+    /// Creates a scheduler with `threads` workers (min 1) over one store.
+    pub fn new(store: &'a dyn StringStore, threads: usize) -> Self {
+        SharedMemoryScheduler { io_start: store.stats().snapshot(), store, threads: threads.max(1) }
+    }
+}
+
+impl GroupScheduler for SharedMemoryScheduler<'_> {
+    fn master_store(&self) -> &dyn StringStore {
+        self.store
+    }
+
+    fn algorithm(&self) -> &'static str {
+        if self.threads > 1 {
+            "era-parallel-sm"
+        } else {
+            "era"
+        }
+    }
+
+    /// Each worker gets (memory / threads), mirroring the experimental setup
+    /// of Figure 12 where the machine's RAM is divided equally among cores.
+    fn worker_r_capacity(&self, layout: &MemoryLayout) -> usize {
+        (layout.r_bytes / self.threads).max(1024)
+    }
+
+    fn run_groups(
+        &self,
+        groups: &[VirtualTree],
+        params: &HorizontalParams,
+        method: HorizontalMethod,
+    ) -> EraResult<ScheduleOutcome> {
+        // Group `w` is reserved for worker `w`, the rest is a dynamic work
+        // queue: every worker is guaranteed one group (when enough exist)
+        // even if another worker spawns first and pulls fast, and load still
+        // balances across unevenly sized virtual trees.
+        let next_group = AtomicUsize::new(self.threads);
+        let results: Vec<EraResult<(Vec<Partition>, NodeReport)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|worker| {
+                    let next_group = &next_group;
+                    let store = self.store;
+                    scope.spawn(move || {
+                        let worker_start = Instant::now();
+                        let mut built: Vec<Partition> = Vec::new();
+                        let mut groups_done = 0usize;
+                        let mut idx = worker;
+                        while let Some(group) = groups.get(idx) {
+                            built.extend(build_group(store, group, params, method)?);
+                            groups_done += 1;
+                            idx = next_group.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let report = NodeReport {
+                            node: worker,
+                            virtual_trees: groups_done,
+                            partitions: built.len(),
+                            elapsed: worker_start.elapsed(),
+                            io: IoSnapshot::default(),
+                        };
+                        Ok((built, report))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker thread must not panic")).collect()
+        });
+
+        let mut outcome = ScheduleOutcome::default();
+        for result in results {
+            let (built, report) = result?;
+            outcome.partitions.extend(built);
+            outcome.per_node.push(report);
+        }
+        outcome.per_node.sort_by_key(|r| r.node);
+        Ok(outcome)
+    }
+
+    fn total_io(&self, _outcome: &ScheduleOutcome) -> IoSnapshot {
+        self.store.stats().snapshot().since(&self.io_start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-nothing scheduler (§5.2)
+// ---------------------------------------------------------------------------
+
+/// Options specific to the shared-nothing simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedNothingOptions {
+    /// Simulated broadcast bandwidth in bytes per second (the paper measures
+    /// ~2.3 min to push the human genome through a slow switch). `None`
+    /// disables the transfer-time model.
+    pub transfer_bandwidth: Option<f64>,
+    /// Whether the nodes actually run concurrently as threads (`true`) or are
+    /// executed one after another (`false`, useful for deterministic I/O
+    /// accounting in tests and benchmarks). The reported per-node times are
+    /// wall-clock either way; the makespan is their maximum.
+    pub concurrent: bool,
+}
+
+impl Default for SharedNothingOptions {
+    fn default() -> Self {
+        SharedNothingOptions { transfer_bandwidth: None, concurrent: true }
+    }
+}
+
+/// Runs each virtual tree on a simulated cluster node with its *private* copy
+/// of the string (own disk, own I/O counters). Groups are assigned with the
+/// longest-processing-time heuristic — largest group first, always to the
+/// least-loaded node — the paper's "divide equally" strategy with a simple
+/// load-balancing refinement. There is no merge phase: the partitions built
+/// on every node concatenate directly into the final tree.
+pub struct SharedNothingScheduler<'a> {
+    node_stores: Vec<&'a dyn StringStore>,
+    options: SharedNothingOptions,
+    io_starts: Vec<IoSnapshot>,
+}
+
+impl<'a> SharedNothingScheduler<'a> {
+    /// Creates the scheduler over one private store per node, capturing every
+    /// node's I/O baseline. Fails when no stores are given or the stores hold
+    /// strings of different lengths.
+    pub fn new<S: StringStore>(
+        node_stores: &'a [S],
+        options: SharedNothingOptions,
+    ) -> EraResult<Self> {
+        if node_stores.is_empty() {
+            return Err(EraError::config("need at least one node store"));
+        }
+        let text_len = node_stores[0].len();
+        if node_stores.iter().any(|s| s.len() != text_len) {
+            return Err(EraError::config("every node must hold the same string"));
+        }
+        let node_stores: Vec<&dyn StringStore> =
+            node_stores.iter().map(|s| s as &dyn StringStore).collect();
+        let io_starts = node_stores.iter().map(|s| s.stats().snapshot()).collect();
+        Ok(SharedNothingScheduler { node_stores, options, io_starts })
+    }
+
+    /// Longest-processing-time assignment of groups to nodes.
+    fn assign(&self, groups: &[VirtualTree]) -> Vec<Vec<VirtualTree>> {
+        let nodes = self.node_stores.len();
+        let mut order: Vec<&VirtualTree> = groups.iter().collect();
+        order.sort_by_key(|g| std::cmp::Reverse(g.total_frequency()));
+        let mut assignments: Vec<Vec<VirtualTree>> = vec![Vec::new(); nodes];
+        let mut load = vec![0u64; nodes];
+        for group in order {
+            let target = (0..nodes).min_by_key(|&n| load[n]).expect("at least one node");
+            load[target] += group.total_frequency().max(1);
+            assignments[target].push(group.clone());
+        }
+        assignments
+    }
+}
+
+impl GroupScheduler for SharedNothingScheduler<'_> {
+    fn master_store(&self) -> &dyn StringStore {
+        self.node_stores[0]
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "era-shared-nothing"
+    }
+
+    fn run_groups(
+        &self,
+        groups: &[VirtualTree],
+        params: &HorizontalParams,
+        method: HorizontalMethod,
+    ) -> EraResult<ScheduleOutcome> {
+        let nodes = self.node_stores.len();
+        let assignments = self.assign(groups);
+
+        let run_node = |node: usize| -> EraResult<(Vec<Partition>, NodeReport)> {
+            let node_start = Instant::now();
+            let store = self.node_stores[node];
+            let mut built = Vec::new();
+            for group in &assignments[node] {
+                built.extend(build_group(store, group, params, method)?);
+            }
+            let report = NodeReport {
+                node,
+                virtual_trees: assignments[node].len(),
+                partitions: built.len(),
+                elapsed: node_start.elapsed(),
+                io: store.stats().snapshot().since(&self.io_starts[node]),
+            };
+            Ok((built, report))
+        };
+
+        let results: Vec<EraResult<(Vec<Partition>, NodeReport)>> = if self.options.concurrent
+            && nodes > 1
+        {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    (0..nodes).map(|node| scope.spawn(move || run_node(node))).collect();
+                handles.into_iter().map(|h| h.join().expect("node thread must not panic")).collect()
+            })
+        } else {
+            (0..nodes).map(run_node).collect()
+        };
+
+        let mut outcome = ScheduleOutcome::default();
+        for result in results {
+            let (built, report) = result?;
+            outcome.partitions.extend(built);
+            outcome.per_node.push(report);
+        }
+        outcome.per_node.sort_by_key(|r| r.node);
+        Ok(outcome)
+    }
+
+    /// Aggregates I/O over every node: the master baseline alone would only
+    /// cover node 0.
+    fn total_io(&self, outcome: &ScheduleOutcome) -> IoSnapshot {
+        outcome.per_node.iter().fold(IoSnapshot::default(), |acc, n| acc.merged(&n.io))
+    }
+
+    fn string_transfer(&self) -> Duration {
+        match self.options.transfer_bandwidth {
+            Some(bw) if bw > 0.0 => Duration::from_secs_f64(self.master_store().len() as f64 / bw),
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use era_string_store::{Alphabet, InMemoryStore};
+    use era_suffix_tree::validate_partitioned;
+
+    fn config() -> EraConfig {
+        EraConfig {
+            memory_budget: 8 << 10,
+            r_buffer_size: Some(512),
+            input_buffer_size: 64,
+            trie_area: 64,
+            ..EraConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_three_schedulers_build_the_same_tree() {
+        let body = b"GATTACAGATTACAGGATCCGATTACATTTTACAGAGATTACCAGATTACA";
+        let text: Vec<u8> = {
+            let mut t = body.to_vec();
+            t.push(0);
+            t
+        };
+        let cfg = config();
+        let pipeline = ConstructionPipeline::new(&cfg);
+
+        let store = InMemoryStore::from_body(body, Alphabet::dna()).unwrap();
+        let (serial_tree, serial_report) = pipeline.run(&SerialScheduler::new(&store)).unwrap();
+        validate_partitioned(&serial_tree, &text).unwrap();
+        assert_eq!(serial_report.algorithm, "era");
+        assert!(serial_report.per_node.is_empty());
+
+        let store = InMemoryStore::from_body(body, Alphabet::dna()).unwrap();
+        let (sm_tree, sm_report) = pipeline.run(&SharedMemoryScheduler::new(&store, 3)).unwrap();
+        assert_eq!(sm_tree.lexicographic_suffixes(), serial_tree.lexicographic_suffixes());
+        assert_eq!(sm_report.per_node.len(), 3);
+
+        let stores: Vec<InMemoryStore> =
+            (0..2).map(|_| InMemoryStore::from_body(body, Alphabet::dna()).unwrap()).collect();
+        let scheduler =
+            SharedNothingScheduler::new(&stores, SharedNothingOptions::default()).unwrap();
+        let (sn_tree, sn_report) = pipeline.run(&scheduler).unwrap();
+        assert_eq!(sn_tree.lexicographic_suffixes(), serial_tree.lexicographic_suffixes());
+        assert_eq!(sn_report.per_node.len(), 2);
+        assert_eq!(sn_report.algorithm, "era-shared-nothing");
+    }
+
+    #[test]
+    fn scheduler_kind_resolves_from_threads() {
+        assert_eq!(config().scheduler_kind(), SchedulerKind::Serial);
+        let parallel = EraConfig { threads: 4, ..config() };
+        assert_eq!(parallel.scheduler_kind(), SchedulerKind::SharedMemory);
+        let forced = EraConfig { scheduler: SchedulerKind::Serial, threads: 4, ..config() };
+        assert_eq!(forced.scheduler_kind(), SchedulerKind::Serial);
+    }
+
+    #[test]
+    fn shared_nothing_rejects_bad_store_sets() {
+        let empty: Vec<InMemoryStore> = Vec::new();
+        assert!(SharedNothingScheduler::new(&empty, SharedNothingOptions::default()).is_err());
+        let a = InMemoryStore::from_body(b"GATTACA", Alphabet::dna()).unwrap();
+        let b = InMemoryStore::from_body(b"GATTACAGATTACA", Alphabet::dna()).unwrap();
+        let stores = vec![a, b];
+        assert!(SharedNothingScheduler::new(&stores, SharedNothingOptions::default()).is_err());
+    }
+}

@@ -2,74 +2,103 @@
 //!
 //! Vertical partitioning (§4.1) and the occurrence-collection step of
 //! horizontal partitioning both need one strictly sequential pass over `S`
-//! looking at a sliding window of a few symbols. These helpers stream the
-//! string block by block through the store (so the pass is I/O-accounted) and
-//! never hold more than one block plus the window tail in memory.
+//! looking at a sliding window of a few symbols. Both helpers run on the
+//! zero-copy [`BlockCursor`] of `era-string-store`: the pass is served as
+//! borrowed slices out of one reused window buffer, so it is I/O-accounted,
+//! never holds more than a few blocks in memory, and allocates nothing per
+//! fetch.
 
-use era_string_store::{StoreResult, StringStore};
+use era_string_store::{BlockCursor, StoreResult, StringStore};
 
 /// Calls `f(position, window)` for every position `0..store.len()`, where
 /// `window` is the next `window_len` symbols starting at `position` (clamped
 /// at the end of the string). Performs exactly one sequential scan.
-pub fn for_each_window<F>(
-    store: &dyn StringStore,
-    window_len: usize,
-    mut f: F,
-) -> StoreResult<()>
+pub fn for_each_window<F>(store: &dyn StringStore, window_len: usize, mut f: F) -> StoreResult<()>
 where
     F: FnMut(usize, &[u8]),
 {
     assert!(window_len > 0, "window length must be positive");
     let len = store.len();
-    store.stats().add_full_scan();
-    let chunk = store.block_size().max(window_len);
-    let mut buf: Vec<u8> = Vec::with_capacity(chunk + window_len);
-    let mut buf_start = 0usize; // text position of buf[0]
-    let mut pos = 0usize;
-    let mut read_to = 0usize; // text position up to which we have read
-
-    while pos < len {
-        // Ensure the buffer covers [pos, pos + window_len) or up to the end.
-        let want_end = (pos + window_len).min(len);
-        if want_end > read_to {
-            let fetch_end = (pos + chunk).min(len).max(want_end);
-            let mut chunk_buf = vec![0u8; fetch_end - read_to];
-            let got = store.read_at(read_to, &mut chunk_buf)?;
-            chunk_buf.truncate(got);
-            buf.extend_from_slice(&chunk_buf);
-            read_to += got;
-        }
-        // Drop the part of the buffer we no longer need.
-        if pos > buf_start + chunk {
-            buf.drain(..pos - buf_start);
-            buf_start = pos;
-        }
-        let lo = pos - buf_start;
-        let hi = (want_end - buf_start).min(buf.len());
-        f(pos, &buf[lo..hi]);
-        pos += 1;
+    let mut cursor = BlockCursor::new(store, false);
+    for pos in 0..len {
+        f(pos, cursor.slice(pos, window_len)?);
     }
     Ok(())
 }
 
+/// A batched multi-pattern matcher over one sequential scan.
+///
+/// Patterns are bucketed by their first byte once, up front; the scan then
+/// walks the string in block-sized stretches of the cursor's window and, at
+/// each position, tests only the patterns whose first byte matches — the
+/// per-position "try every pattern" closure disappears from the hot path.
+/// Prefix groups produced by vertical partitioning share first bytes heavily,
+/// which is exactly the case the buckets exploit.
+struct MultiPatternMatcher<'p> {
+    patterns: &'p [Vec<u8>],
+    /// Pattern indices bucketed by first byte.
+    buckets: Vec<Vec<u32>>,
+    max_len: usize,
+}
+
+impl<'p> MultiPatternMatcher<'p> {
+    fn new(patterns: &'p [Vec<u8>]) -> Self {
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); 256];
+        let mut max_len = 0usize;
+        for (i, p) in patterns.iter().enumerate() {
+            // Empty patterns never match (they carry no first byte to anchor
+            // the scan on); vertical partitioning never produces them.
+            if let Some(&first) = p.first() {
+                buckets[first as usize].push(i as u32);
+                max_len = max_len.max(p.len());
+            }
+        }
+        MultiPatternMatcher { patterns, buckets, max_len }
+    }
+
+    /// Matches every pattern against every window starting in
+    /// `stretch[..positions]`, pushing hits (offset by `base`) into `out`.
+    fn scan_stretch(&self, base: usize, stretch: &[u8], positions: usize, out: &mut [Vec<u32>]) {
+        for i in 0..positions {
+            let bucket = &self.buckets[stretch[i] as usize];
+            for &pi in bucket {
+                let p = &self.patterns[pi as usize];
+                if stretch.len() - i >= p.len() && stretch[i..i + p.len()] == p[..] {
+                    out[pi as usize].push((base + i) as u32);
+                }
+            }
+        }
+    }
+}
+
 /// Collects the positions of every occurrence of each `pattern` in the store,
 /// in string order, using a single sequential scan.
+///
+/// Empty patterns yield no occurrences: a pattern needs at least one symbol
+/// to anchor the scan on (vertical partitioning never produces empty
+/// prefixes).
 pub fn collect_occurrences(
     store: &dyn StringStore,
     patterns: &[Vec<u8>],
 ) -> StoreResult<Vec<Vec<u32>>> {
-    let max_len = patterns.iter().map(|p| p.len()).max().unwrap_or(0);
     let mut out: Vec<Vec<u32>> = vec![Vec::new(); patterns.len()];
-    if max_len == 0 {
+    let matcher = MultiPatternMatcher::new(patterns);
+    if matcher.max_len == 0 {
         return Ok(out);
     }
-    for_each_window(store, max_len, |pos, window| {
-        for (i, p) in patterns.iter().enumerate() {
-            if window.len() >= p.len() && &window[..p.len()] == p.as_slice() {
-                out[i].push(pos as u32);
-            }
-        }
-    })?;
+    let len = store.len();
+    let mut cursor = BlockCursor::new(store, false);
+    // Walk the string in block-sized stretches; each stretch is extended by
+    // max_len - 1 lookahead bytes so windows that straddle the boundary are
+    // matched exactly once, in their home stretch.
+    let stride = store.block_size().max(matcher.max_len).max(64);
+    let mut pos = 0usize;
+    while pos < len {
+        let positions = stride.min(len - pos);
+        let stretch = cursor.slice(pos, positions + matcher.max_len - 1)?;
+        matcher.scan_stretch(pos, stretch, positions, &mut out);
+        pos += positions;
+    }
     Ok(out)
 }
 
@@ -99,12 +128,40 @@ mod tests {
     }
 
     #[test]
+    fn windowed_pass_stays_within_one_pass_of_io() {
+        // Regression test for the old per-fetch `vec![0u8; …]` +
+        // `buf.drain(..)` implementation: a windowed pass must read every
+        // byte exactly once, regardless of window length and block size.
+        for (body_len, window_len, block) in
+            [(4096usize, 3usize, 32usize), (2500, 16, 64), (999, 1, 8), (257, 40, 16)]
+        {
+            let body: Vec<u8> = (0..body_len).map(|i| b'a' + (i % 7) as u8).collect();
+            let s =
+                InMemoryStore::from_body_inferred(&body).unwrap().with_block_size(block).unwrap();
+            let mut count = 0usize;
+            for_each_window(&s, window_len, |_, _| count += 1).unwrap();
+            assert_eq!(count, body_len + 1);
+            let snap = s.stats().snapshot();
+            assert_eq!(snap.full_scans, 1);
+            assert_eq!(
+                snap.bytes_read as usize,
+                s.len(),
+                "one pass must read each byte once (body {body_len}, window {window_len}, block {block})"
+            );
+        }
+    }
+
+    #[test]
     fn occurrences_match_naive_search() {
         let body = b"TGGTGGTGGTGCGGTGATGGTGC";
         let s = store(body);
         let patterns = vec![b"TG".to_vec(), b"TGG".to_vec(), b"GGTG".to_vec(), b"XX".to_vec()];
         let occ = collect_occurrences(&s, &patterns).unwrap();
-        let text: Vec<u8> = { let mut t = body.to_vec(); t.push(0); t };
+        let text: Vec<u8> = {
+            let mut t = body.to_vec();
+            t.push(0);
+            t
+        };
         for (i, p) in patterns.iter().enumerate() {
             let expected: Vec<u32> = (0..text.len())
                 .filter(|&j| text[j..].starts_with(p.as_slice()))
@@ -113,6 +170,42 @@ mod tests {
             assert_eq!(occ[i], expected, "pattern {:?}", String::from_utf8_lossy(p));
         }
         assert_eq!(occ[0], vec![0, 3, 6, 9, 14, 17, 20]); // Table 1 of the paper
+    }
+
+    #[test]
+    fn occurrences_against_oracle_across_strides() {
+        // Stretch boundaries must not drop or duplicate matches: compare with
+        // the brute-force oracle over bodies spanning many blocks, with
+        // patterns longer and shorter than the block size.
+        let body: Vec<u8> = b"abcabcdabcdeabcdefab".iter().cycle().take(1000).copied().collect();
+        for block in [4usize, 8, 16, 64] {
+            let s =
+                InMemoryStore::from_body_inferred(&body).unwrap().with_block_size(block).unwrap();
+            let patterns = vec![
+                b"abc".to_vec(),
+                b"abcdefab".to_vec(),
+                b"a".to_vec(),
+                b"cabcdabcdeabcdefabab".to_vec(), // longer than small blocks
+                b"zzz".to_vec(),
+            ];
+            let occ = collect_occurrences(&s, &patterns).unwrap();
+            let text: Vec<u8> = {
+                let mut t = body.clone();
+                t.push(0);
+                t
+            };
+            for (i, p) in patterns.iter().enumerate() {
+                let expected: Vec<u32> = (0..text.len())
+                    .filter(|&j| text[j..].starts_with(p.as_slice()))
+                    .map(|j| j as u32)
+                    .collect();
+                assert_eq!(occ[i], expected, "block {block} pattern {i}");
+            }
+            // The scan is a single pass.
+            let snap = s.stats().snapshot();
+            assert_eq!(snap.full_scans, 1);
+            assert_eq!(snap.bytes_read as usize, s.len());
+        }
     }
 
     #[test]

@@ -1,24 +1,20 @@
-//! The serial construction driver (§4).
+//! The serial construction driver (§4) — a thin wrapper binding the
+//! [`ConstructionPipeline`](crate::pipeline::ConstructionPipeline) to a
+//! [`SerialScheduler`](crate::pipeline::SerialScheduler).
 //!
 //! Pipeline: vertical partitioning → for every virtual tree: collect the
 //! occurrences of its prefixes (one scan), run horizontal partitioning
 //! (`SubTreePrepare` + `BuildSubTree`, or the ERA-str variant), and collect
-//! the finished sub-trees into a [`PartitionedSuffixTree`].
-
-use std::time::Instant;
+//! the finished sub-trees into a [`PartitionedSuffixTree`]. All of that lives
+//! in [`crate::pipeline`]; this module only selects the scheduler.
 
 use era_string_store::StringStore;
-use era_suffix_tree::{Partition, PartitionedSuffixTree};
+use era_suffix_tree::PartitionedSuffixTree;
 
-use crate::config::{EraConfig, HorizontalMethod};
+use crate::config::EraConfig;
 use crate::error::EraResult;
-use crate::horizontal::branch_edge::compute_group_str;
-use crate::horizontal::build::build_partition;
-use crate::horizontal::prepare::prepare_group;
-use crate::horizontal::HorizontalParams;
+use crate::pipeline::{ConstructionPipeline, SerialScheduler};
 use crate::report::ConstructionReport;
-use crate::scan::collect_occurrences;
-use crate::vertical::{vertical_partition, VerticalPartitioning, VirtualTree};
 
 /// Builds the suffix tree of the string in `store` with the serial version of
 /// ERA, returning the partitioned tree and a construction report.
@@ -26,110 +22,13 @@ pub fn construct_serial(
     store: &dyn StringStore,
     config: &EraConfig,
 ) -> EraResult<(PartitionedSuffixTree, ConstructionReport)> {
-    config.validate()?;
-    let layout = config.memory_layout(store.alphabet())?;
-    let start_all = Instant::now();
-    let io_start = store.stats().snapshot();
-
-    // --- Vertical partitioning (§4.1). ---
-    let t0 = Instant::now();
-    let vertical = vertical_partition(store, layout.fm, config.group_virtual_trees)?;
-    let vertical_time = t0.elapsed();
-
-    // --- Horizontal partitioning (§4.2), group by group. ---
-    let params = HorizontalParams {
-        r_capacity: layout.r_bytes,
-        range_policy: config.range_policy,
-        min_range: config.min_range,
-        seek_optimization: config.seek_optimization,
-    };
-    let t1 = Instant::now();
-    let mut partitions: Vec<Partition> = Vec::with_capacity(vertical.partition_count());
-    for group in &vertical.groups {
-        partitions.extend(build_group(store, group, &params, config.horizontal)?);
-    }
-    let horizontal_time = t1.elapsed();
-
-    let tree = PartitionedSuffixTree::new(store.len(), partitions);
-    let report = make_report(
-        "era",
-        store,
-        config,
-        layout.fm,
-        &vertical,
-        &tree,
-        start_all.elapsed(),
-        vertical_time,
-        horizontal_time,
-        io_start,
-    );
-    Ok((tree, report))
-}
-
-/// Builds every sub-tree of one virtual tree (shared by the serial and the
-/// parallel drivers — each worker calls this for the groups it owns).
-pub(crate) fn build_group(
-    store: &dyn StringStore,
-    group: &VirtualTree,
-    params: &HorizontalParams,
-    method: HorizontalMethod,
-) -> EraResult<Vec<Partition>> {
-    let prefixes: Vec<Vec<u8>> = group.prefixes.iter().map(|p| p.prefix.clone()).collect();
-    // One sequential scan collects the occurrence lists of every prefix in the
-    // group (the leaves of each sub-tree, in string order).
-    let occurrences = collect_occurrences(store, &prefixes)?;
-    match method {
-        HorizontalMethod::StringAndMemory => {
-            let prepared = prepare_group(store, &prefixes, &occurrences, params)?;
-            Ok(prepared
-                .iter()
-                .filter(|p| !p.leaves.is_empty())
-                .map(|p| build_partition(store.len(), p))
-                .collect())
-        }
-        HorizontalMethod::StringOnly => {
-            let parts = compute_group_str(store, &prefixes, &occurrences, params)?;
-            Ok(parts.into_iter().filter(|p| p.tree.leaf_count() > 0).collect())
-        }
-    }
-}
-
-/// Assembles a [`ConstructionReport`] from the run's measurements.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn make_report(
-    algorithm: &str,
-    store: &dyn StringStore,
-    config: &EraConfig,
-    fm: usize,
-    vertical: &VerticalPartitioning,
-    tree: &PartitionedSuffixTree,
-    elapsed: std::time::Duration,
-    vertical_time: std::time::Duration,
-    horizontal_time: std::time::Duration,
-    io_start: era_string_store::IoSnapshot,
-) -> ConstructionReport {
-    ConstructionReport {
-        algorithm: algorithm.to_string(),
-        text_len: store.len(),
-        memory_budget: config.memory_budget,
-        fm,
-        elapsed,
-        vertical_time,
-        horizontal_time,
-        vertical_scans: vertical.scans,
-        partitions: vertical.partition_count(),
-        virtual_trees: vertical.group_count(),
-        io: store.stats().snapshot().since(&io_start),
-        tree: tree.stats(),
-        per_node: Vec::new(),
-        string_transfer: std::time::Duration::ZERO,
-    }
+    ConstructionPipeline::new(config).run(&SerialScheduler::new(store))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::RangePolicy;
+    use crate::config::{HorizontalMethod, RangePolicy};
     use era_string_store::{Alphabet, InMemoryStore};
     use era_suffix_tree::{naive_suffix_tree, validate_partitioned};
 
@@ -214,12 +113,16 @@ mod tests {
 
     #[test]
     fn protein_and_english_alphabets() {
-        let protein = b"MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQVKVKALPDAQFEVVHSLAKWKR"
-            .iter()
-            .map(|&b| if Alphabet::protein().contains(b) { b } else { b'A' })
-            .collect::<Vec<u8>>();
+        let protein =
+            b"MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQVKVKALPDAQFEVVHSLAKWKR"
+                .iter()
+                .map(|&b| if Alphabet::protein().contains(b) { b } else { b'A' })
+                .collect::<Vec<u8>>();
         check_against_reference(&protein, &tiny_config(8 << 10));
-        check_against_reference(b"thequickbrownfoxjumpsoverthelazydogthequickbrownfox", &tiny_config(8 << 10));
+        check_against_reference(
+            b"thequickbrownfoxjumpsoverthelazydogthequickbrownfox",
+            &tiny_config(8 << 10),
+        );
     }
 
     #[test]

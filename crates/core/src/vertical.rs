@@ -125,7 +125,8 @@ pub fn vertical_partition(
         working = next_working;
     }
 
-    let groups = if group { group_prefixes(&accepted, fm as u64) } else { trivial_groups(&accepted) };
+    let groups =
+        if group { group_prefixes(&accepted, fm as u64) } else { trivial_groups(&accepted) };
     Ok(VerticalPartitioning { prefixes: accepted, groups, scans })
 }
 

@@ -4,7 +4,7 @@ use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::alphabet::Alphabet;
 use crate::error::{StoreError, StoreResult};
@@ -37,7 +37,11 @@ pub struct DiskStore {
 
 impl DiskStore {
     /// Opens an existing terminated string file.
-    pub fn open(path: impl AsRef<Path>, alphabet: Alphabet, block_size: usize) -> StoreResult<Self> {
+    pub fn open(
+        path: impl AsRef<Path>,
+        alphabet: Alphabet,
+        block_size: usize,
+    ) -> StoreResult<Self> {
         if block_size == 0 {
             return Err(StoreError::InvalidConfig("block size must be non-zero".into()));
         }
@@ -53,7 +57,9 @@ impl DiskStore {
         let mut last = [0u8; 1];
         file.read_exact(&mut last)?;
         if last[0] != crate::alphabet::TERMINAL {
-            return Err(StoreError::InvalidText("file does not end with the terminal symbol".into()));
+            return Err(StoreError::InvalidText(
+                "file does not end with the terminal symbol".into(),
+            ));
         }
         Ok(DiskStore {
             file: Mutex::new(file),
@@ -139,12 +145,12 @@ impl StringStore for DiskStore {
             return Ok(0);
         }
         {
-            let mut file = self.file.lock();
+            let mut file = self.file.lock().expect("disk store file lock poisoned");
             file.seek(SeekFrom::Start(pos as u64))?;
             file.read_exact(&mut buf[..take])?;
         }
         {
-            let mut last = self.last_end.lock();
+            let mut last = self.last_end.lock().expect("disk store stats lock poisoned");
             if *last == Some(pos as u64) {
                 self.stats.add_sequential_reads(1);
             } else {

@@ -31,10 +31,9 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::Io(e) => write!(f, "I/O error: {e}"),
-            StoreError::OutOfBounds { pos, len, text_len } => write!(
-                f,
-                "read of {len} bytes at position {pos} exceeds text length {text_len}"
-            ),
+            StoreError::OutOfBounds { pos, len, text_len } => {
+                write!(f, "read of {len} bytes at position {pos} exceeds text length {text_len}")
+            }
             StoreError::InvalidText(msg) => write!(f, "invalid input text: {msg}"),
             StoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }

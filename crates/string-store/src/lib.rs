@@ -19,9 +19,12 @@
 //! * [`InMemoryStore`] and [`DiskStore`] — the two backends. The disk backend
 //!   reads through a configurable block size and supports forward seeks that
 //!   skip blocks (the paper's disk-seek optimisation, §4.4).
-//! * [`SequentialScanner`] — a cursor for one sequential pass over the string
-//!   that serves ascending `(position, length)` requests from a block buffer,
-//!   optionally skipping blocks that contain no requested symbol.
+//! * [`BlockCursor`] — the zero-copy block-scan layer: one sequential pass
+//!   served as borrowed slices out of a single reused window buffer (no
+//!   per-fetch allocation), optionally skipping blocks that contain no
+//!   requested symbol.
+//! * [`SequentialScanner`] — a copy-out adapter over [`BlockCursor`] for
+//!   callers that keep the requested bytes in their own buffers.
 //! * [`IoStats`] / [`IoSnapshot`] — thread-safe I/O counters.
 //! * [`packed`] — 2-bit / 5-bit packed symbol encodings.
 
@@ -29,6 +32,7 @@
 #![warn(clippy::all)]
 
 pub mod alphabet;
+pub mod cursor;
 pub mod disk;
 pub mod error;
 pub mod memory;
@@ -38,6 +42,7 @@ pub mod stats;
 pub mod store;
 
 pub use alphabet::{Alphabet, AlphabetKind, TERMINAL};
+pub use cursor::BlockCursor;
 pub use disk::DiskStore;
 pub use error::{StoreError, StoreResult};
 pub use memory::InMemoryStore;

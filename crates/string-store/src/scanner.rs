@@ -6,8 +6,13 @@
 //! ascending position order, and — with the disk-seek optimisation of §4.4 —
 //! whole blocks that contain no requested symbol are skipped with a short
 //! forward seek instead of being read.
+//!
+//! The block window itself lives in [`BlockCursor`](crate::BlockCursor); the
+//! scanner is a thin copy-out adapter for callers that want the bytes in
+//! their own buffer (e.g. to keep them across subsequent requests).
 
-use crate::error::{StoreError, StoreResult};
+use crate::cursor::BlockCursor;
+use crate::error::StoreResult;
 use crate::store::StringStore;
 
 /// A single read request: `len` symbols starting at `pos`.
@@ -23,133 +28,37 @@ pub struct ScanRequest {
 /// Serves ascending-position read requests from a sliding block-aligned
 /// window, counting sequential reads, skipped blocks and bytes.
 pub struct SequentialScanner<'a> {
-    store: &'a dyn StringStore,
-    skip_blocks: bool,
-    block: usize,
-    /// Window buffer holding bytes for positions `[win_start, win_end)`.
-    window: Vec<u8>,
-    win_start: usize,
-    win_end: usize,
-    /// Index of the block that would be read next if reading strictly
-    /// sequentially (used to classify skips).
-    next_block: usize,
-    last_pos: usize,
+    cursor: BlockCursor<'a>,
 }
 
 impl<'a> SequentialScanner<'a> {
     /// Starts a new pass over `store`. Counts one full scan.
     pub fn new(store: &'a dyn StringStore, skip_blocks: bool) -> Self {
-        store.stats().add_full_scan();
-        let block = store.block_size().max(1);
-        SequentialScanner {
-            store,
-            skip_blocks,
-            block,
-            window: Vec::new(),
-            win_start: 0,
-            win_end: 0,
-            next_block: 0,
-            last_pos: 0,
-        }
+        SequentialScanner { cursor: BlockCursor::new(store, skip_blocks) }
+    }
+
+    /// Borrows the `len` symbols at `pos` (clamped at end of string) straight
+    /// from the cursor's window — the zero-copy path.
+    ///
+    /// Requests must be issued with non-decreasing `pos`; violating that
+    /// returns [`crate::StoreError::InvalidConfig`] so that algorithm bugs
+    /// surface as errors rather than silently degraded I/O accounting.
+    pub fn slice(&mut self, pos: usize, len: usize) -> StoreResult<&[u8]> {
+        self.cursor.slice(pos, len)
     }
 
     /// Reads `req.len` symbols at `req.pos` (clamped at end of string) into
     /// `out`, which is cleared first.
-    ///
-    /// Requests must be issued with non-decreasing `pos`; violating that
-    /// returns [`StoreError::InvalidConfig`] so that algorithm bugs surface as
-    /// errors rather than silently degraded I/O accounting.
     pub fn read(&mut self, req: ScanRequest, out: &mut Vec<u8>) -> StoreResult<()> {
         out.clear();
-        let text_len = self.store.len();
-        if req.pos > text_len {
-            return Err(StoreError::OutOfBounds { pos: req.pos, len: req.len, text_len });
-        }
-        if req.pos < self.last_pos {
-            return Err(StoreError::InvalidConfig(format!(
-                "sequential scanner received a descending request: {} after {}",
-                req.pos, self.last_pos
-            )));
-        }
-        self.last_pos = req.pos;
-        let end = (req.pos + req.len).min(text_len);
-        if end <= req.pos {
-            return Ok(());
-        }
-        self.ensure_window(req.pos, end)?;
-        let lo = req.pos - self.win_start;
-        let hi = end - self.win_start;
-        out.extend_from_slice(&self.window[lo..hi]);
+        let slice = self.cursor.slice(req.pos, req.len)?;
+        out.extend_from_slice(slice);
         Ok(())
     }
 
     /// Convenience wrapper allocating the output vector.
     pub fn read_vec(&mut self, pos: usize, len: usize) -> StoreResult<Vec<u8>> {
-        let mut out = Vec::with_capacity(len);
-        self.read(ScanRequest { pos, len }, &mut out)?;
-        Ok(out)
-    }
-
-    /// Makes sure the window covers `[pos, end)`.
-    fn ensure_window(&mut self, pos: usize, end: usize) -> StoreResult<()> {
-        debug_assert!(end <= self.store.len());
-        // Drop the part of the window before the block containing `pos`:
-        // requests are ascending, so it will never be needed again.
-        let new_start = (pos / self.block) * self.block;
-        if new_start > self.win_start {
-            if new_start < self.win_end {
-                self.window.drain(..new_start - self.win_start);
-                self.win_start = new_start;
-            } else {
-                self.window.clear();
-                self.win_start = new_start;
-                self.win_end = new_start;
-            }
-        }
-        if self.win_end < self.win_start {
-            self.win_end = self.win_start;
-        }
-        if end <= self.win_end && pos >= self.win_start {
-            return Ok(());
-        }
-
-        // Extend the window block by block until it covers `end`.
-        let first_needed_block = self.win_end.max(self.win_start) / self.block;
-        let first_needed_block = first_needed_block.max(new_start / self.block);
-        let last_needed_block = (end - 1) / self.block;
-
-        // Handle the gap between the sequential cursor and the first block we
-        // actually need.
-        if first_needed_block > self.next_block {
-            let gap = first_needed_block - self.next_block;
-            if self.skip_blocks {
-                self.store.stats().add_blocks_skipped(gap as u64);
-            } else {
-                // Read-through: fetch and discard the gap blocks, mirroring the
-                // behaviour of WaveFront-style full scans.
-                let gap_start = self.next_block * self.block;
-                let gap_end = (first_needed_block * self.block).min(self.store.len());
-                if gap_end > gap_start {
-                    let mut sink = vec![0u8; gap_end - gap_start];
-                    self.store.read_at(gap_start, &mut sink)?;
-                }
-            }
-        }
-
-        let read_start = self.win_end.max(first_needed_block * self.block);
-        let read_end = ((last_needed_block + 1) * self.block).min(self.store.len());
-        if read_end > read_start {
-            let old_len = self.window.len();
-            self.window.resize(old_len + (read_end - read_start), 0);
-            let got = self.store.read_at(read_start, &mut self.window[old_len..])?;
-            self.window.truncate(old_len + got);
-            self.win_end = read_start + got;
-        }
-        self.next_block = last_needed_block + 1;
-        if end > self.win_end {
-            return Err(StoreError::OutOfBounds { pos, len: end - pos, text_len: self.store.len() });
-        }
-        Ok(())
+        Ok(self.cursor.slice(pos, len)?.to_vec())
     }
 }
 
@@ -238,5 +147,19 @@ mod tests {
         assert_eq!(got, vec![b'c', 0]);
         let empty = sc.read_vec(4, 10).unwrap();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn zero_copy_slice_matches_copy_out() {
+        let body: Vec<u8> = (0..300).map(|i| b'a' + (i % 11) as u8).collect();
+        let store = store_with_block(&body, 32);
+        let mut copying = SequentialScanner::new(&store, false);
+        let store2 = store_with_block(&body, 32);
+        let mut borrowing = SequentialScanner::new(&store2, false);
+        for pos in [0usize, 5, 64, 65, 200, 299] {
+            let copied = copying.read_vec(pos, 40).unwrap();
+            let borrowed = borrowing.slice(pos, 40).unwrap();
+            assert_eq!(copied.as_slice(), borrowed, "pos {pos}");
+        }
     }
 }

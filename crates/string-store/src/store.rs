@@ -134,7 +134,8 @@ mod tests {
 
     #[test]
     fn trait_objects_and_arcs_delegate() {
-        let store = std::sync::Arc::new(InMemoryStore::from_body(b"ACGT", Alphabet::dna()).unwrap());
+        let store =
+            std::sync::Arc::new(InMemoryStore::from_body(b"ACGT", Alphabet::dna()).unwrap());
         let via_arc: &dyn StringStore = &store;
         assert_eq!(via_arc.len(), 5);
         assert_eq!(store.alphabet().len(), 4);

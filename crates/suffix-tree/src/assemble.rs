@@ -52,7 +52,11 @@ pub fn assemble_from_sorted(
     smallest_first_char: u8,
 ) -> SuffixTree {
     assert!(!leaves.is_empty(), "cannot assemble a tree without leaves");
-    assert_eq!(branching.len(), leaves.len() - 1, "need one branching entry per adjacent leaf pair");
+    assert_eq!(
+        branching.len(),
+        leaves.len() - 1,
+        "need one branching entry per adjacent leaf pair"
+    );
 
     let n = text_len as u32;
     let mut tree = SuffixTree::with_capacity(text_len, 2 * leaves.len());
@@ -186,11 +190,8 @@ mod tests {
         let tree = assemble_from_sorted(text.len(), &leaves, &branching, b'a');
         assert_eq!(tree.leaf_count(), 2);
         assert_eq!(tree.internal_count(), 2); // root + the "ana" node
-        let labels: Vec<Vec<u8>> = tree
-            .lexicographic_suffixes()
-            .iter()
-            .map(|&s| text[s as usize..].to_vec())
-            .collect();
+        let labels: Vec<Vec<u8>> =
+            tree.lexicographic_suffixes().iter().map(|&s| text[s as usize..].to_vec()).collect();
         assert_eq!(labels, vec![b"ana\0".to_vec(), b"anana\0".to_vec()]);
         // The root child caches the prefix's first character.
         let root_child = tree.children(tree.root())[0];

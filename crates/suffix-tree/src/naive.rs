@@ -50,7 +50,9 @@ pub fn insert_suffix(tree: &mut SuffixTree, text: &[u8], suffix: u32) {
                 };
                 // Match along the edge label.
                 let mut k = 0u32;
-                while start + k < end && pos + k < n && text[(start + k) as usize] == text[(pos + k) as usize]
+                while start + k < end
+                    && pos + k < n
+                    && text[(start + k) as usize] == text[(pos + k) as usize]
                 {
                     k += 1;
                 }

@@ -43,7 +43,8 @@ impl PrefixTrie {
         for (idx, prefix) in prefixes.iter().enumerate() {
             let mut cur = 0u32;
             for &c in prefix {
-                cur = match trie.nodes[cur as usize].children.binary_search_by_key(&c, |&(s, _)| s) {
+                cur = match trie.nodes[cur as usize].children.binary_search_by_key(&c, |&(s, _)| s)
+                {
                     Ok(i) => trie.nodes[cur as usize].children[i].1,
                     Err(i) => {
                         let id = trie.nodes.len() as u32;

@@ -132,7 +132,11 @@ impl SuffixTree {
     ///
     /// Returns `(offset_in_text, length)` of one occurrence inside the left
     /// half, or `None` if the strings share no symbol.
-    pub fn longest_common_substring(&self, text: &[u8], separator_pos: usize) -> Option<(u32, u32)> {
+    pub fn longest_common_substring(
+        &self,
+        text: &[u8],
+        separator_pos: usize,
+    ) -> Option<(u32, u32)> {
         debug_assert!(separator_pos < text.len(), "separator must lie inside the text");
         let sep = separator_pos as u32;
         // For every internal node, determine whether it has a leaf on each

@@ -193,7 +193,8 @@ mod tests {
     use crate::validate::validate_suffix_tree;
 
     fn temp_dir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("era-serialize-{}-{}", name, std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("era-serialize-{}-{}", name, std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }

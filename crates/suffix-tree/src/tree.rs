@@ -66,10 +66,7 @@ impl SuffixTree {
     /// Looks up the child of `id` whose incoming edge starts with `c`.
     pub fn child_starting_with(&self, id: NodeId, c: u8) -> Option<NodeId> {
         let children = self.children(id);
-        children
-            .binary_search_by_key(&c, |&ch| self.node(ch).first_char)
-            .ok()
-            .map(|i| children[i])
+        children.binary_search_by_key(&c, |&ch| self.node(ch).first_char).ok().map(|i| children[i])
     }
 
     /// Number of leaves.
@@ -115,7 +112,12 @@ impl SuffixTree {
     /// paper's `B` array).
     ///
     /// Returns the id of the new internal node.
-    pub fn split_edge(&mut self, child: NodeId, split_len: u32, child_first_after_split: u8) -> NodeId {
+    pub fn split_edge(
+        &mut self,
+        child: NodeId,
+        split_len: u32,
+        child_first_after_split: u8,
+    ) -> NodeId {
         assert!(split_len > 0, "split length must be positive");
         let (start, end, parent, first_char) = {
             let c = self.node(child);
@@ -297,7 +299,7 @@ mod tests {
         let na = t.add_internal(a, 2, 4, b'n'); // "na"
         t.add_leaf(na, 6, 7, 0, 3); // na$
         t.add_leaf(na, 4, 7, b'n', 1); // nana$
-        // banana$ leaf
+                                       // banana$ leaf
         t.add_leaf(root, 0, 7, b'b', 0);
         // "na" internal: suffixes 2, 4
         let n = t.add_internal(root, 2, 4, b'n');

@@ -47,14 +47,28 @@ pub enum ValidationError {
 impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ValidationError::UnaryInternalNode(n) => write!(f, "internal node {n} has fewer than 2 children"),
-            ValidationError::SiblingOrder(n) => write!(f, "children of node {n} are not strictly ordered by first character"),
-            ValidationError::FirstCharMismatch(n) => write!(f, "cached first character of node {n} does not match the text"),
+            ValidationError::UnaryInternalNode(n) => {
+                write!(f, "internal node {n} has fewer than 2 children")
+            }
+            ValidationError::SiblingOrder(n) => {
+                write!(f, "children of node {n} are not strictly ordered by first character")
+            }
+            ValidationError::FirstCharMismatch(n) => {
+                write!(f, "cached first character of node {n} does not match the text")
+            }
             ValidationError::EmptyEdge(n) => write!(f, "non-root node {n} has an empty edge label"),
-            ValidationError::ParentMismatch(n) => write!(f, "parent pointer of node {n} is inconsistent"),
-            ValidationError::WrongSuffix { leaf, suffix } => write!(f, "leaf {leaf} does not spell suffix {suffix}"),
-            ValidationError::WrongLeafSet { found, expected } => write!(f, "tree indexes {found} suffixes, expected {expected}"),
-            ValidationError::EdgeOutOfBounds(n) => write!(f, "edge label of node {n} is out of text bounds"),
+            ValidationError::ParentMismatch(n) => {
+                write!(f, "parent pointer of node {n} is inconsistent")
+            }
+            ValidationError::WrongSuffix { leaf, suffix } => {
+                write!(f, "leaf {leaf} does not spell suffix {suffix}")
+            }
+            ValidationError::WrongLeafSet { found, expected } => {
+                write!(f, "tree indexes {found} suffixes, expected {expected}")
+            }
+            ValidationError::EdgeOutOfBounds(n) => {
+                write!(f, "edge label of node {n} is out of text bounds")
+            }
         }
     }
 }
@@ -141,7 +155,9 @@ pub fn validate_partitioned(
             all.insert(leaf);
         }
     }
-    if all.len() != text.len() || all.iter().ne((0..text.len() as u32).collect::<BTreeSet<_>>().iter()) {
+    if all.len() != text.len()
+        || all.iter().ne((0..text.len() as u32).collect::<BTreeSet<_>>().iter())
+    {
         return Err(ValidationError::WrongLeafSet { found: all.len(), expected: text.len() });
     }
     Ok(())

@@ -6,20 +6,165 @@ use rand::{Rng, SeedableRng};
 /// A small vocabulary of common English words (letters only — the paper's
 /// English dataset uses a 26-symbol alphabet).
 const WORDS: &[&str] = &[
-    "the", "of", "and", "to", "in", "that", "is", "was", "for", "it", "with", "as", "his", "on",
-    "be", "at", "by", "had", "not", "are", "but", "from", "or", "have", "an", "they", "which",
-    "one", "you", "were", "her", "all", "she", "there", "would", "their", "we", "him", "been",
-    "has", "when", "who", "will", "more", "no", "if", "out", "so", "said", "what", "up", "its",
-    "about", "into", "than", "them", "can", "only", "other", "new", "some", "could", "time",
-    "these", "two", "may", "then", "do", "first", "any", "my", "now", "such", "like", "our",
-    "over", "man", "me", "even", "most", "made", "after", "also", "did", "many", "before", "must",
-    "through", "years", "where", "much", "your", "way", "well", "down", "should", "because",
-    "each", "just", "those", "people", "mister", "how", "too", "little", "state", "good", "very",
-    "make", "world", "still", "own", "see", "men", "work", "long", "get", "here", "between",
-    "both", "life", "being", "under", "never", "day", "same", "another", "know", "while", "last",
-    "might", "us", "great", "old", "year", "off", "come", "since", "against", "go", "came",
-    "right", "used", "take", "three", "system", "database", "suffix", "tree", "index", "string",
-    "construction", "memory", "disk", "parallel", "algorithm", "partition", "elastic", "range",
+    "the",
+    "of",
+    "and",
+    "to",
+    "in",
+    "that",
+    "is",
+    "was",
+    "for",
+    "it",
+    "with",
+    "as",
+    "his",
+    "on",
+    "be",
+    "at",
+    "by",
+    "had",
+    "not",
+    "are",
+    "but",
+    "from",
+    "or",
+    "have",
+    "an",
+    "they",
+    "which",
+    "one",
+    "you",
+    "were",
+    "her",
+    "all",
+    "she",
+    "there",
+    "would",
+    "their",
+    "we",
+    "him",
+    "been",
+    "has",
+    "when",
+    "who",
+    "will",
+    "more",
+    "no",
+    "if",
+    "out",
+    "so",
+    "said",
+    "what",
+    "up",
+    "its",
+    "about",
+    "into",
+    "than",
+    "them",
+    "can",
+    "only",
+    "other",
+    "new",
+    "some",
+    "could",
+    "time",
+    "these",
+    "two",
+    "may",
+    "then",
+    "do",
+    "first",
+    "any",
+    "my",
+    "now",
+    "such",
+    "like",
+    "our",
+    "over",
+    "man",
+    "me",
+    "even",
+    "most",
+    "made",
+    "after",
+    "also",
+    "did",
+    "many",
+    "before",
+    "must",
+    "through",
+    "years",
+    "where",
+    "much",
+    "your",
+    "way",
+    "well",
+    "down",
+    "should",
+    "because",
+    "each",
+    "just",
+    "those",
+    "people",
+    "mister",
+    "how",
+    "too",
+    "little",
+    "state",
+    "good",
+    "very",
+    "make",
+    "world",
+    "still",
+    "own",
+    "see",
+    "men",
+    "work",
+    "long",
+    "get",
+    "here",
+    "between",
+    "both",
+    "life",
+    "being",
+    "under",
+    "never",
+    "day",
+    "same",
+    "another",
+    "know",
+    "while",
+    "last",
+    "might",
+    "us",
+    "great",
+    "old",
+    "year",
+    "off",
+    "come",
+    "since",
+    "against",
+    "go",
+    "came",
+    "right",
+    "used",
+    "take",
+    "three",
+    "system",
+    "database",
+    "suffix",
+    "tree",
+    "index",
+    "string",
+    "construction",
+    "memory",
+    "disk",
+    "parallel",
+    "algorithm",
+    "partition",
+    "elastic",
+    "range",
 ];
 
 /// English-like text of length `len` over the 26-letter alphabet.

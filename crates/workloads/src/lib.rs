@@ -56,9 +56,12 @@ mod tests {
 
     #[test]
     fn generate_respects_spec() {
-        for kind in
-            [DatasetKind::UniformDna, DatasetKind::GenomeLike, DatasetKind::Protein, DatasetKind::English]
-        {
+        for kind in [
+            DatasetKind::UniformDna,
+            DatasetKind::GenomeLike,
+            DatasetKind::Protein,
+            DatasetKind::English,
+        ] {
             let spec = DatasetSpec { kind, len: 1000, seed: 7 };
             let body = generate(&spec);
             assert_eq!(body.len(), 1000);

@@ -10,9 +10,8 @@ const AMINO: &[u8; 20] = b"ACDEFGHIKLMNPQRSTVWY";
 /// (UniProt-wide averages, scaled to integers). The skew matters because it
 /// makes vertical partitioning produce unbalanced prefix frequencies, which is
 /// exactly what the virtual-tree grouping of §4.1 exploits.
-const WEIGHTS: [u32; 20] = [
-    83, 14, 55, 67, 39, 71, 23, 59, 58, 97, 24, 41, 47, 39, 55, 66, 54, 69, 11, 29,
-];
+const WEIGHTS: [u32; 20] =
+    [83, 14, 55, 67, 39, 71, 23, 59, 58, 97, 24, 41, 47, 39, 55, 66, 54, 69, 11, 29];
 
 /// Protein-like sequence of length `len` with skewed amino-acid frequencies
 /// and occasional repeated domains.

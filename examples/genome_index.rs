@@ -38,9 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trie_area: 16 << 10,
         ..EraConfig::default()
     };
-    let index = SuffixIndex::builder()
-        .config(config)
-        .build_from_path(&genome_path, Alphabet::dna())?;
+    let index =
+        SuffixIndex::builder().config(config).build_from_path(&genome_path, Alphabet::dna())?;
     print_report(index.report());
     println!();
 

@@ -44,8 +44,5 @@ pub fn print_report(report: &ConstructionReport) {
 
 /// Formats a byte slice for terminal output (printable ASCII passes through).
 pub fn printable(bytes: &[u8]) -> String {
-    bytes
-        .iter()
-        .map(|&b| if b.is_ascii_graphic() || b == b' ' { b as char } else { '.' })
-        .collect()
+    bytes.iter().map(|&b| if b.is_ascii_graphic() || b == b' ' { b as char } else { '.' }).collect()
 }

@@ -13,8 +13,7 @@ use era_string_store::{Alphabet, DiskStore};
 use era_workloads::genome_like;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let length_kib: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(256);
+    let length_kib: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(256);
     println!("== parallel_build ({length_kib} KiB genome-like DNA) ==");
 
     let dir = std::env::temp_dir().join(format!("era-parallel-example-{}", std::process::id()));
@@ -32,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n-- shared-memory / shared-disk --");
     let mut serial_time = None;
     for threads in [1usize, 2, 4] {
-        let store = DiskStore::create(dir.join(format!("sm-{threads}.seq")), &genome, Alphabet::dna(), 64 << 10)?;
+        let store = DiskStore::create(
+            dir.join(format!("sm-{threads}.seq")),
+            &genome,
+            Alphabet::dna(),
+            64 << 10,
+        )?;
         let cfg = EraConfig { threads, ..config.clone() };
         let start = Instant::now();
         let (tree, report) = construct_parallel_sm(&store, &cfg)?;
@@ -70,8 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if nodes == 1 {
             single_node = Some(makespan);
         }
-        let speedup =
-            single_node.map(|s| s.as_secs_f64() / makespan.as_secs_f64()).unwrap_or(1.0);
+        let speedup = single_node.map(|s| s.as_secs_f64() / makespan.as_secs_f64()).unwrap_or(1.0);
         println!(
             "{nodes} node(s): makespan {makespan:?}, + transfer {:?}  (speed-up {speedup:.2}x)",
             report.string_transfer

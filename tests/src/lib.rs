@@ -50,10 +50,7 @@ pub fn scan_occurrences(text: &[u8], pattern: &[u8]) -> Vec<u32> {
     if pattern.is_empty() {
         return (0..text.len() as u32).collect();
     }
-    (0..text.len())
-        .filter(|&i| text[i..].starts_with(pattern))
-        .map(|i| i as u32)
-        .collect()
+    (0..text.len()).filter(|&i| text[i..].starts_with(pattern)).map(|i| i as u32).collect()
 }
 
 #[cfg(test)]

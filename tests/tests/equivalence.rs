@@ -69,7 +69,10 @@ fn all_algorithms_agree_on_the_corpus() {
         let expected_order = trees[0].1.lexicographic_suffixes();
         for (name, tree) in &trees {
             validate_partitioned(tree, &text).unwrap_or_else(|e| {
-                panic!("{name} produced an invalid tree for {:?}: {e}", String::from_utf8_lossy(&body))
+                panic!(
+                    "{name} produced an invalid tree for {:?}: {e}",
+                    String::from_utf8_lossy(&body)
+                )
             });
             assert_eq!(tree.leaf_count(), text.len(), "{name}");
             assert_eq!(

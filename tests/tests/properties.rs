@@ -18,7 +18,10 @@ use proptest::prelude::*;
 /// Arbitrary bodies over small alphabets (small alphabets maximise repeat
 /// structure and therefore stress the branching logic hardest).
 fn body_strategy() -> impl Strategy<Value = Vec<u8>> {
-    let dna = proptest::collection::vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], 1..200);
+    let dna = proptest::collection::vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+        1..200,
+    );
     let binary = proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b')], 1..200);
     let ascii = proptest::collection::vec(33u8..127u8, 1..120);
     prop_oneof![dna, binary, ascii]
@@ -28,10 +31,7 @@ fn config_strategy() -> impl Strategy<Value = EraConfig> {
     (
         2_000usize..40_000,
         1usize..64,
-        prop_oneof![
-            Just(RangePolicy::Elastic),
-            (1usize..40).prop_map(RangePolicy::Fixed)
-        ],
+        prop_oneof![Just(RangePolicy::Elastic), (1usize..40).prop_map(RangePolicy::Fixed)],
         any::<bool>(),
         any::<bool>(),
         prop_oneof![Just(HorizontalMethod::StringAndMemory), Just(HorizontalMethod::StringOnly)],
