@@ -7,7 +7,7 @@ use era_baselines::{
     b2st_construct, trellis_construct, ukkonen_construct, wavefront_construct,
     wavefront_construct_parallel, B2stConfig, TrellisConfig, WaveFrontConfig,
 };
-use era_string_store::{DiskStore, StringStore};
+use era_string_store::{DiskStore, PackedDiskStore, StringStore};
 use era_suffix_tree::PartitionedSuffixTree;
 use era_workloads::{alphabet_for, generate, DatasetSpec};
 
@@ -70,6 +70,16 @@ pub fn make_disk_store(spec: &DatasetSpec) -> DiskStore {
     let name = format!("{}-{}", spec.tag(), spec.seed);
     let path = bench_dir().join(format!("{name}.era"));
     DiskStore::create(path, &body, alphabet, BENCH_BLOCK).expect("create dataset file")
+}
+
+/// Converts an existing raw benchmark store into the bit-packed on-disk
+/// format (§6.1) next to it — `foo.era` becomes `foo.erap` — with one
+/// streaming scan, so the dataset is not synthesised a second time. Every
+/// scan of the returned store fetches `bits/8` of the raw bytes.
+pub fn make_packed_disk_store(raw: &DiskStore) -> PackedDiskStore {
+    let mut path = raw.path().as_os_str().to_os_string();
+    path.push("p");
+    PackedDiskStore::pack_store(&raw, PathBuf::from(path), BENCH_BLOCK).expect("pack dataset")
 }
 
 /// An ERA configuration scaled for a given memory budget (keeps the paper's

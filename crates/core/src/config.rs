@@ -85,6 +85,11 @@ pub struct EraConfig {
     /// Lower bound for the elastic range (symbols fetched per active suffix
     /// and iteration).
     pub min_range: usize,
+    /// Whether the string store keeps the text bit-packed (§6.1: 2 bits per
+    /// DNA symbol, 5 per protein/English symbol). Packing cuts the bytes
+    /// fetched by every sequential scan by the packing ratio — up to 4x on
+    /// DNA — at the cost of decoding each block on the fly.
+    pub packed: bool,
 }
 
 impl Default for EraConfig {
@@ -102,6 +107,7 @@ impl Default for EraConfig {
             threads: 1,
             scheduler: SchedulerKind::Auto,
             min_range: 4,
+            packed: false,
         }
     }
 }

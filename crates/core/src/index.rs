@@ -8,7 +8,9 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use era_string_store::{Alphabet, DiskStore, InMemoryStore, StringStore, TERMINAL};
+use era_string_store::{
+    Alphabet, DiskStore, InMemoryStore, PackedDiskStore, PackedMemoryStore, StringStore, TERMINAL,
+};
 use era_suffix_tree::PartitionedSuffixTree;
 
 use crate::config::{EraConfig, HorizontalMethod, RangePolicy, SchedulerKind};
@@ -176,6 +178,17 @@ impl SuffixIndexBuilder {
         self
     }
 
+    /// Builds over a bit-packed store (§6.1: 2-bit DNA, 5-bit
+    /// protein/English), cutting the bytes every construction scan fetches by
+    /// the packing ratio. In-memory builds pack the text up front; file
+    /// builds pack the raw file into a sibling `.packed` file first (removed
+    /// when the build finishes). Files already in the packed format are
+    /// detected and used directly regardless of this flag.
+    pub fn packed(mut self, enabled: bool) -> Self {
+        self.config.packed = enabled;
+        self
+    }
+
     /// Uses a fully custom configuration.
     pub fn config(mut self, config: EraConfig) -> Self {
         self.config = config;
@@ -190,8 +203,8 @@ impl SuffixIndexBuilder {
     /// Builds the index over an in-memory string (the terminal is appended;
     /// the alphabet is inferred).
     pub fn build_from_bytes(self, body: &[u8]) -> EraResult<SuffixIndex> {
-        let store = InMemoryStore::from_body_inferred(body)?;
-        self.build_from_store(&store, Vec::new())
+        let alphabet = Alphabet::infer(body)?;
+        self.build_from_bytes_with_alphabet(body, alphabet)
     }
 
     /// Builds the index over an in-memory string with an explicit alphabet.
@@ -200,20 +213,57 @@ impl SuffixIndexBuilder {
         body: &[u8],
         alphabet: Alphabet,
     ) -> EraResult<SuffixIndex> {
-        let store = InMemoryStore::from_body(body, alphabet)?;
-        self.build_from_store(&store, Vec::new())
+        if self.config.packed {
+            let store = PackedMemoryStore::from_body(body, alphabet)?;
+            self.build_from_store(&store, Vec::new())
+        } else {
+            let store = InMemoryStore::from_body(body, alphabet)?;
+            self.build_from_store(&store, Vec::new())
+        }
     }
 
     /// Builds the index over a string stored in a file (disk-based
     /// construction: the file is only read through block-sized sequential
-    /// scans). The file must already be terminated with the byte `0`.
+    /// scans).
+    ///
+    /// Raw files must already be terminated with the byte `0`. Files in the
+    /// packed format (see [`PackedDiskStore`]) are detected by their magic
+    /// and opened packed; with [`Self::packed`] enabled, a raw file is packed
+    /// into a sibling `<name>.packed` file first (one streaming scan; the
+    /// sibling is removed when the build finishes).
     pub fn build_from_path(
         self,
         path: impl AsRef<Path>,
         alphabet: Alphabet,
     ) -> EraResult<SuffixIndex> {
-        let store = DiskStore::open(path, alphabet, self.config.input_buffer_size.max(4 << 10))?;
-        self.build_from_store(&store, Vec::new())
+        let path = path.as_ref();
+        let block = self.config.input_buffer_size.max(4 << 10);
+        // A packed store decodes `block_size()` symbols per window block, so
+        // its *packed* block is scaled down by the packing ratio: the decoded
+        // scan window then covers the same `block` symbols (and bytes of
+        // memory) as a raw build with the same configuration.
+        let packed_block = ((block * alphabet.bits_per_symbol() as usize).div_ceil(8)).max(512);
+        if let Some(store) = PackedDiskStore::open_if_packed(path, packed_block)? {
+            if store.alphabet().symbols() != alphabet.symbols() {
+                return Err(EraError::input(format!(
+                    "packed file {} stores a different alphabet than the one supplied",
+                    path.display()
+                )));
+            }
+            return self.build_from_store(&store, Vec::new());
+        }
+        let raw = DiskStore::open(path, alphabet, block)?;
+        if self.config.packed {
+            // Unique sibling name: concurrent packed builds of the same input
+            // must not truncate or delete each other's conversion file, and a
+            // user file that happens to carry the suffix stays untouched.
+            let packed_path = era_string_store::packed_store::unique_sibling(path, "packed");
+            let store = PackedDiskStore::pack_store(&raw, &packed_path, packed_block)?
+                .cleanup_on_drop(true);
+            self.build_from_store(&store, Vec::new())
+        } else {
+            self.build_from_store(&raw, Vec::new())
+        }
     }
 
     /// Builds a generalized index over several strings.
@@ -242,8 +292,13 @@ impl SuffixIndexBuilder {
                 body.push(SEP);
             }
         }
-        let store = InMemoryStore::from_body_inferred(&body)?;
-        self.build_from_store(&store, separators)
+        if self.config.packed {
+            let store = PackedMemoryStore::from_body_inferred(&body)?;
+            self.build_from_store(&store, separators)
+        } else {
+            let store = InMemoryStore::from_body_inferred(&body)?;
+            self.build_from_store(&store, separators)
+        }
     }
 
     /// Builds the index over any [`StringStore`].
@@ -325,7 +380,8 @@ mod tests {
             .range_policy(RangePolicy::Fixed(9))
             .horizontal_method(HorizontalMethod::StringOnly)
             .group_virtual_trees(false)
-            .seek_optimization(false);
+            .seek_optimization(false)
+            .packed(true);
         let cfg = builder.peek_config();
         assert_eq!(cfg.memory_budget, 123);
         assert_eq!(cfg.r_buffer_size, Some(77));
@@ -334,5 +390,57 @@ mod tests {
         assert_eq!(cfg.horizontal, HorizontalMethod::StringOnly);
         assert!(!cfg.group_virtual_trees);
         assert!(!cfg.seek_optimization);
+        assert!(cfg.packed);
+    }
+
+    #[test]
+    fn packed_builds_answer_like_raw_builds() {
+        let text = b"TGGTGGTGGTGCGGTGATGGTGC";
+        let raw = SuffixIndex::builder().memory_budget(1 << 20).build_from_bytes(text).unwrap();
+        let packed = SuffixIndex::builder()
+            .memory_budget(1 << 20)
+            .packed(true)
+            .build_from_bytes(text)
+            .unwrap();
+        assert_eq!(packed.suffix_array(), raw.suffix_array());
+        assert_eq!(packed.count(b"TG"), 7);
+        assert_eq!(packed.find_all(b"TGC"), raw.find_all(b"TGC"));
+        assert_eq!(packed.text(), raw.text());
+    }
+
+    #[test]
+    fn packed_path_builds_detect_and_convert() {
+        let dir = std::env::temp_dir().join(format!("era-packed-index-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let body = b"GATTACAGATTACAGGATCCGATTACA";
+
+        // A raw terminated file, built with packing: converted on the fly.
+        let raw_path = dir.join("raw.era");
+        let mut text = body.to_vec();
+        text.push(0);
+        std::fs::write(&raw_path, &text).unwrap();
+        let from_raw = SuffixIndex::builder()
+            .packed(true)
+            .build_from_path(&raw_path, Alphabet::dna())
+            .unwrap();
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".packed"))
+            .collect();
+        assert!(leftovers.is_empty(), "conversion files must be cleaned up: {leftovers:?}");
+
+        // A file already in the packed format: detected by magic.
+        let packed_path = dir.join("pre.erap");
+        {
+            let _keep = PackedDiskStore::create(&packed_path, body, Alphabet::dna(), 4 << 10)
+                .unwrap()
+                .cleanup_on_drop(false);
+        }
+        let from_packed =
+            SuffixIndex::builder().build_from_path(&packed_path, Alphabet::dna()).unwrap();
+        assert_eq!(from_packed.suffix_array(), from_raw.suffix_array());
+        assert!(SuffixIndex::builder().build_from_path(&packed_path, Alphabet::protein()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -52,13 +52,16 @@
 //! [`config::SchedulerKind`] so the right scheduler is chosen automatically.
 //! The scheduler trait is the seam future backends (async-I/O stores,
 //! distributed workers, batched query builds) plug into without touching the
-//! pipeline.
+//! pipeline. Orthogonally, [`SuffixIndexBuilder::packed`] swaps the raw
+//! string stores for the bit-packed backends of `era-string-store` (§6.1:
+//! 2-bit DNA, 5-bit protein/English), cutting the bytes fetched by every
+//! construction scan by the packing ratio under any scheduler.
 //!
 //! ## Crate layout
 //!
 //! * [`config`] — every knob the paper evaluates (memory budget, `|R|`,
-//!   elastic vs static range, grouping, seek optimisation, threads) plus the
-//!   [`config::SchedulerKind`] selection.
+//!   elastic vs static range, grouping, seek optimisation, threads, packed
+//!   symbol encoding) plus the [`config::SchedulerKind`] selection.
 //! * [`vertical`] — variable-length prefix partitioning + virtual trees (§4.1).
 //! * [`horizontal`] — `SubTreePrepare`/`BuildSubTree` and the ERA-str variant
 //!   (§4.2), including the elastic range (§4.4).

@@ -124,14 +124,15 @@ impl Alphabet {
         self.symbols.binary_search(&b).is_ok()
     }
 
-    /// Number of bits required to encode one symbol (including the terminal).
+    /// Number of bits required to encode one alphabet symbol.
     ///
-    /// DNA needs 2 bits; protein and English need 5 bits — matching the
-    /// encoding discussion of §6.1 of the paper.
+    /// DNA needs 2 bits; protein and English need 5 bits — exactly the
+    /// figures of §6.1 of the paper. The terminal is *not* encoded: the
+    /// packed stores keep its position out-of-band (it is implied by the text
+    /// length), so it costs no bits.
     pub fn bits_per_symbol(&self) -> u32 {
-        // +1 for the terminal symbol.
-        let n = (self.symbols.len() + 1) as u32;
-        u32::BITS - (n - 1).leading_zeros()
+        let n = self.symbols.len() as u32;
+        (u32::BITS - (n - 1).leading_zeros()).max(1)
     }
 
     /// Validates that `text` is a proper input string: non-empty, terminated by
@@ -181,9 +182,20 @@ mod tests {
 
     #[test]
     fn bits_per_symbol_matches_paper() {
-        assert_eq!(Alphabet::dna().bits_per_symbol(), 3); // 4 symbols + terminal = 5 values
+        // §6.1: 2-bit DNA, 5-bit protein and English. The terminal is
+        // out-of-band and costs no bits.
+        assert_eq!(Alphabet::dna().bits_per_symbol(), 2);
         assert_eq!(Alphabet::protein().bits_per_symbol(), 5);
         assert_eq!(Alphabet::english().bits_per_symbol(), 5);
+        // Width boundaries: 15/16 symbols fit in 4 bits, 17 and 31/32 in 5.
+        let custom = |n: u8| Alphabet::custom(&(1..=n).collect::<Vec<u8>>()).unwrap();
+        assert_eq!(custom(1).bits_per_symbol(), 1);
+        assert_eq!(custom(15).bits_per_symbol(), 4);
+        assert_eq!(custom(16).bits_per_symbol(), 4);
+        assert_eq!(custom(17).bits_per_symbol(), 5);
+        assert_eq!(custom(31).bits_per_symbol(), 5);
+        assert_eq!(custom(32).bits_per_symbol(), 5);
+        assert_eq!(custom(33).bits_per_symbol(), 6);
     }
 
     #[test]

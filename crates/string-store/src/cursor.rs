@@ -119,7 +119,13 @@ impl<'a> BlockCursor<'a> {
         if first_needed_block > self.next_block {
             let gap = first_needed_block - self.next_block;
             if self.skip_blocks {
-                self.store.stats().add_blocks_skipped(gap as u64);
+                // Scale to physical blocks: the cursor's block is a store's
+                // logical block, which packed stores group from several
+                // physical blocks — `blocks_skipped` must stay in the same
+                // units as `blocks_read`.
+                self.store
+                    .stats()
+                    .add_blocks_skipped(gap as u64 * self.store.physical_blocks_per_block());
             } else {
                 // Read-through: fetch and discard the gap blocks, mirroring
                 // the behaviour of WaveFront-style full scans. The window

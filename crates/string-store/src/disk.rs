@@ -4,6 +4,7 @@ use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::alphabet::Alphabet;
@@ -31,7 +32,7 @@ pub struct DiskStore {
     alphabet: Alphabet,
     block_size: usize,
     stats: IoStats,
-    last_end: Mutex<Option<u64>>,
+    last_end: AtomicU64,
     owns_file: bool,
 }
 
@@ -68,7 +69,9 @@ impl DiskStore {
             alphabet,
             block_size,
             stats: IoStats::new(),
-            last_end: Mutex::new(None),
+            // A fresh store's cursor is at offset 0, so the very first read at
+            // position 0 continues from it and counts as sequential.
+            last_end: AtomicU64::new(0),
             owns_file: false,
         })
     }
@@ -149,17 +152,18 @@ impl StringStore for DiskStore {
             file.seek(SeekFrom::Start(pos as u64))?;
             file.read_exact(&mut buf[..take])?;
         }
-        {
-            let mut last = self.last_end.lock().expect("disk store stats lock poisoned");
-            if *last == Some(pos as u64) {
-                self.stats.add_sequential_reads(1);
-            } else {
-                self.stats.add_random_seeks(1);
-            }
-            *last = Some((pos + take) as u64);
+        let prev = self.last_end.swap((pos + take) as u64, Ordering::Relaxed);
+        if prev == pos as u64 {
+            self.stats.add_sequential_reads(1);
+        } else {
+            self.stats.add_random_seeks(1);
         }
         self.stats.add_bytes_read(take as u64);
-        self.stats.add_blocks_read(take.div_ceil(self.block_size) as u64);
+        self.stats.add_blocks_read(crate::stats::blocks_spanned(
+            pos,
+            pos + take - 1,
+            self.block_size,
+        ));
         Ok(take)
     }
 }
@@ -190,13 +194,33 @@ mod tests {
         let body: Vec<u8> = std::iter::repeat(*b"ACGT").flatten().take(1000).collect();
         let store = DiskStore::create_in_dir(&dir, "t2", &body, Alphabet::dna()).unwrap();
         let mut buf = [0u8; 100];
-        store.read_at(0, &mut buf).unwrap();
-        store.read_at(100, &mut buf).unwrap();
-        store.read_at(50, &mut buf).unwrap();
+        store.read_at(0, &mut buf).unwrap(); // first read at 0: sequential
+        store.read_at(100, &mut buf).unwrap(); // continues: sequential
+        store.read_at(50, &mut buf).unwrap(); // jump back: seek
         let snap = store.stats().snapshot();
-        assert_eq!(snap.sequential_reads, 1);
-        assert_eq!(snap.random_seeks, 2);
+        assert_eq!(snap.sequential_reads, 2);
+        assert_eq!(snap.random_seeks, 1);
         assert_eq!(snap.bytes_read, 300);
+    }
+
+    #[test]
+    fn block_accounting_counts_straddled_blocks() {
+        // Regression test: `take.div_ceil(block_size)` counted blocks as if
+        // every read were block-aligned, so a short read straddling a block
+        // boundary recorded 1 block while touching 2.
+        let dir = temp_dir();
+        let body: Vec<u8> = std::iter::repeat(*b"ACGT").flatten().take(1000).collect();
+        let path = dir.join("blocks.era");
+        let store = DiskStore::create(&path, &body, Alphabet::dna(), 64).unwrap();
+        let mut buf = [0u8; 8];
+        store.read_at(60, &mut buf).unwrap(); // bytes 60..68 span blocks 0 and 1
+        assert_eq!(store.stats().snapshot().blocks_read, 2);
+        let mut buf = [0u8; 100];
+        store.read_at(30, &mut buf).unwrap(); // bytes 30..130 span blocks 0..=2
+        assert_eq!(store.stats().snapshot().blocks_read, 2 + 3);
+        let mut buf = [0u8; 64];
+        store.read_at(128, &mut buf).unwrap(); // exactly block 2
+        assert_eq!(store.stats().snapshot().blocks_read, 2 + 3 + 1);
     }
 
     #[test]

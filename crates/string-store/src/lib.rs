@@ -15,10 +15,17 @@
 //!
 //! * [`Alphabet`] — DNA, protein, English and custom alphabets, including the
 //!   bits-per-symbol packing used by the paper (2 bits for DNA, 5 bits for
-//!   protein/English).
-//! * [`InMemoryStore`] and [`DiskStore`] — the two backends. The disk backend
-//!   reads through a configurable block size and supports forward seeks that
-//!   skip blocks (the paper's disk-seek optimisation, §4.4).
+//!   protein/English; the terminal is kept out-of-band).
+//! * [`InMemoryStore`] and [`DiskStore`] — the raw (1 byte/symbol) backends.
+//!   The disk backend reads through a configurable block size and supports
+//!   forward seeks that skip blocks (the paper's disk-seek optimisation,
+//!   §4.4).
+//! * [`PackedMemoryStore`] and [`PackedDiskStore`] — bit-packed backends that
+//!   decode at block granularity inside `read_at`, straight into the caller's
+//!   (usually [`BlockCursor`]'s) buffer. I/O counters record *packed* bytes
+//!   and blocks, so every sequential scan of DNA fetches 4x fewer bytes. The
+//!   on-disk format is a small header (magic, version, bits-per-symbol,
+//!   symbol table, text length) followed by the packed body.
 //! * [`BlockCursor`] — the zero-copy block-scan layer: one sequential pass
 //!   served as borrowed slices out of a single reused window buffer (no
 //!   per-fetch allocation), optionally skipping blocks that contain no
@@ -26,7 +33,8 @@
 //! * [`SequentialScanner`] — a copy-out adapter over [`BlockCursor`] for
 //!   callers that keep the requested bytes in their own buffers.
 //! * [`IoStats`] / [`IoSnapshot`] — thread-safe I/O counters.
-//! * [`packed`] — 2-bit / 5-bit packed symbol encodings.
+//! * [`packed`] — the word-level 2-bit / 5-bit symbol codec underneath the
+//!   packed stores.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -37,6 +45,7 @@ pub mod disk;
 pub mod error;
 pub mod memory;
 pub mod packed;
+pub mod packed_store;
 pub mod scanner;
 pub mod stats;
 pub mod store;
@@ -46,6 +55,8 @@ pub use cursor::BlockCursor;
 pub use disk::DiskStore;
 pub use error::{StoreError, StoreResult};
 pub use memory::InMemoryStore;
+pub use packed::{PackedCodec, PackedText};
+pub use packed_store::{PackedDiskStore, PackedMemoryStore};
 pub use scanner::{ScanRequest, SequentialScanner};
 pub use stats::{IoSnapshot, IoStats};
 pub use store::StringStore;

@@ -32,7 +32,9 @@ impl InMemoryStore {
             alphabet,
             block_size: DEFAULT_MEMORY_BLOCK,
             stats: IoStats::new(),
-            last_end: AtomicU64::new(u64::MAX),
+            // A fresh store's cursor is at offset 0: the first read at
+            // position 0 counts as sequential, matching `DiskStore`.
+            last_end: AtomicU64::new(0),
         })
     }
 
@@ -96,7 +98,13 @@ impl StringStore for InMemoryStore {
             self.stats.add_random_seeks(1);
         }
         self.stats.add_bytes_read(take as u64);
-        self.stats.add_blocks_read(take.div_ceil(self.block_size) as u64);
+        if take > 0 {
+            self.stats.add_blocks_read(crate::stats::blocks_spanned(
+                pos,
+                pos + take - 1,
+                self.block_size,
+            ));
+        }
         Ok(take)
     }
 }
@@ -127,13 +135,13 @@ mod tests {
     fn sequential_vs_random_classification() {
         let s = InMemoryStore::from_body(b"ACGTACGTACGT", Alphabet::dna()).unwrap();
         let mut buf = [0u8; 4];
-        s.read_at(0, &mut buf).unwrap(); // first read: counted as a seek
+        s.read_at(0, &mut buf).unwrap(); // first read at 0: sequential
         s.read_at(4, &mut buf).unwrap(); // continues: sequential
         s.read_at(8, &mut buf).unwrap(); // continues: sequential
         s.read_at(2, &mut buf).unwrap(); // jump back: seek
         let snap = s.stats().snapshot();
-        assert_eq!(snap.sequential_reads, 2);
-        assert_eq!(snap.random_seeks, 2);
+        assert_eq!(snap.sequential_reads, 3);
+        assert_eq!(snap.random_seeks, 1);
         assert_eq!(snap.bytes_read, 16);
     }
 

@@ -8,6 +8,17 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Number of `block`-sized blocks touched by the inclusive span `[lo, hi]`
+/// (byte or symbol units, as long as all three agree).
+///
+/// This is the aligned-span rule every store uses for `blocks_read`: a read
+/// that straddles a block boundary touches every block it overlaps, even when
+/// it is shorter than one block.
+pub fn blocks_spanned(lo: usize, hi: usize, block: usize) -> u64 {
+    debug_assert!(block > 0 && hi >= lo);
+    (hi / block - lo / block + 1) as u64
+}
+
 /// Cumulative I/O counters for one string store (or one simulated node).
 ///
 /// All counters are monotonically increasing and updated with relaxed atomics;

@@ -23,8 +23,26 @@ pub trait StringStore: Send + Sync {
     /// The alphabet `Σ` of the stored string (terminal excluded).
     fn alphabet(&self) -> &Alphabet;
 
-    /// The I/O block size in bytes.
+    /// The I/O block size, in the same *symbol-position* units as
+    /// [`Self::len`] and [`Self::read_at`].
+    ///
+    /// For the raw stores one symbol is one byte, so this is the block size
+    /// in bytes. Packed stores return the symbols per logical block (a group
+    /// of physical blocks whose bit span divides evenly into symbols), which
+    /// is larger than the physical block's byte size by the packing ratio —
+    /// callers sizing byte buffers from this value must account for that.
     fn block_size(&self) -> usize;
+
+    /// Physical blocks per [`Self::block_size`] unit: 1 for the raw stores,
+    /// the logical-block grouping factor for packed stores (e.g. 5 for 5-bit
+    /// alphabets).
+    ///
+    /// Block-granular consumers such as [`crate::BlockCursor`] multiply by
+    /// this so that `blocks_skipped` stays in the same physical units as
+    /// `blocks_read`.
+    fn physical_blocks_per_block(&self) -> u64 {
+        1
+    }
 
     /// The I/O counters of this store.
     fn stats(&self) -> &IoStats;
@@ -80,6 +98,9 @@ impl<T: StringStore + ?Sized> StringStore for &T {
     fn block_size(&self) -> usize {
         (**self).block_size()
     }
+    fn physical_blocks_per_block(&self) -> u64 {
+        (**self).physical_blocks_per_block()
+    }
     fn stats(&self) -> &IoStats {
         (**self).stats()
     }
@@ -97,6 +118,9 @@ impl<T: StringStore + ?Sized> StringStore for std::sync::Arc<T> {
     }
     fn block_size(&self) -> usize {
         (**self).block_size()
+    }
+    fn physical_blocks_per_block(&self) -> u64 {
+        (**self).physical_blocks_per_block()
     }
     fn stats(&self) -> &IoStats {
         (**self).stats()

@@ -1,7 +1,7 @@
 //! Shared helpers for the cross-crate integration and property tests.
 
 use era_string_store::{Alphabet, InMemoryStore};
-use era_suffix_tree::{naive_suffix_tree, SuffixTree};
+use era_suffix_tree::{naive_suffix_tree, PartitionedSuffixTree, SuffixTree};
 
 /// Appends the terminal to a body.
 pub fn terminated(body: &[u8]) -> Vec<u8> {
@@ -42,6 +42,20 @@ pub fn corpus() -> Vec<Vec<u8>> {
         b"a".to_vec(),
         b"thequickbrownfoxjumpsoverthelazydogthequickbrownfox".to_vec(),
     ]
+}
+
+/// Serializes every partition of the tree into one byte string, capturing the
+/// exact partition boundaries and node layout — not just the leaf order. Two
+/// trees are byte-identical iff these strings are equal.
+pub fn tree_bytes(tree: &PartitionedSuffixTree) -> Vec<u8> {
+    let mut out = Vec::new();
+    for partition in tree.partitions() {
+        out.extend_from_slice(&(partition.prefix.len() as u64).to_le_bytes());
+        out.extend_from_slice(&partition.prefix);
+        era_suffix_tree::serialize::write_tree(&mut out, &partition.tree)
+            .expect("serialization succeeds");
+    }
+    out
 }
 
 /// Every occurrence of `pattern` in `text` found by direct scanning — the

@@ -13,7 +13,7 @@ use era::{
 };
 use era_string_store::InMemoryStore;
 use era_suffix_tree::{validate_partitioned, PartitionedSuffixTree};
-use era_tests::{scan_occurrences, terminated};
+use era_tests::{scan_occurrences, terminated, tree_bytes};
 use era_workloads::{english_like, genome_like, protein_like};
 
 fn config() -> EraConfig {
@@ -28,19 +28,6 @@ fn config() -> EraConfig {
 
 fn store(body: &[u8]) -> InMemoryStore {
     InMemoryStore::from_body_inferred(body).expect("valid body").with_block_size(64).unwrap()
-}
-
-/// Serializes every partition of the tree into one byte string, capturing the
-/// exact partition boundaries and node layout — not just the leaf order.
-fn tree_bytes(tree: &PartitionedSuffixTree) -> Vec<u8> {
-    let mut out = Vec::new();
-    for partition in tree.partitions() {
-        out.extend_from_slice(&(partition.prefix.len() as u64).to_le_bytes());
-        out.extend_from_slice(&partition.prefix);
-        era_suffix_tree::serialize::write_tree(&mut out, &partition.tree)
-            .expect("serialization succeeds");
-    }
-    out
 }
 
 /// Builds the same body with all three schedulers (several worker/node counts)
