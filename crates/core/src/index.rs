@@ -1,12 +1,16 @@
 //! The user-facing index API.
 //!
-//! [`SuffixIndex`] bundles the constructed [`PartitionedSuffixTree`] with the
-//! text (needed to resolve edge labels during queries) and the
-//! [`ConstructionReport`]. A builder chooses between the serial,
-//! shared-memory-parallel and disk-backed code paths.
+//! [`SuffixIndex`] bundles the constructed [`PartitionedSuffixTree`] with a
+//! *text backing* — either the materialized text or a
+//! [`StringStore`](era_string_store::StringStore) the text is read from on
+//! demand — plus the [`ConstructionReport`]. A builder chooses between the
+//! serial, shared-memory-parallel and disk-backed code paths; queries go
+//! through the [`QueryEngine`] (see [`SuffixIndex::engine`] and
+//! [`SuffixIndex::query_batch`]), with the classic `contains`/`count`/
+//! `find_all` methods kept as thin single-query wrappers.
 
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use era_string_store::{
     Alphabet, DiskStore, InMemoryStore, PackedDiskStore, PackedMemoryStore, StringStore, TERMINAL,
@@ -16,19 +20,59 @@ use era_suffix_tree::PartitionedSuffixTree;
 use crate::config::{EraConfig, HorizontalMethod, RangePolicy, SchedulerKind};
 use crate::error::{EraError, EraResult};
 use crate::parallel_sm::construct_parallel_sm;
+use crate::query::{QueryBatch, QueryEngine, QueryResponse};
 use crate::report::ConstructionReport;
 use crate::serial::construct_serial;
+
+/// File name of the raw persisted text inside an index directory.
+const TEXT_FILE: &str = "text.era";
+/// File name of the packed persisted text inside an index directory.
+const PACKED_TEXT_FILE: &str = "text.erap";
+/// Sidecar recording the alphabet symbols of a raw persisted text, so
+/// store-backed opens don't have to scan the text to recover it.
+const ALPHABET_FILE: &str = "text.alphabet";
+
+/// How a [`SuffixIndex`] resolves the text its tree's edge labels point into.
+#[derive(Clone)]
+enum TextBacking {
+    /// The text lives in memory (every index built from bytes).
+    Memory(Arc<Vec<u8>>),
+    /// The text stays in a store — raw or packed, usually on disk — and is
+    /// only materialized into the cache if a whole-text operation
+    /// ([`SuffixIndex::text`]) demands it. Queries never do: they resolve
+    /// edge labels through the store.
+    Store { store: Arc<dyn StringStore>, cache: OnceLock<Arc<Vec<u8>>> },
+}
+
+impl std::fmt::Debug for TextBacking {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextBacking::Memory(t) => f.debug_tuple("Memory").field(&t.len()).finish(),
+            TextBacking::Store { store, cache } => f
+                .debug_struct("Store")
+                .field("len", &store.len())
+                .field("packed", &store.is_packed())
+                .field("cached", &cache.get().is_some())
+                .finish(),
+        }
+    }
+}
 
 /// A queryable suffix-tree index over one string (or a generalized index over
 /// several strings).
 #[derive(Debug, Clone)]
 pub struct SuffixIndex {
-    text: Arc<Vec<u8>>,
+    backing: TextBacking,
     tree: PartitionedSuffixTree,
     report: ConstructionReport,
     /// Positions of separator symbols for generalized indexes (empty for a
     /// single string).
     separators: Vec<usize>,
+    /// The alphabet the text was indexed under.
+    alphabet: Alphabet,
+    /// Whether the index was built over (and persists through) the bit-packed
+    /// §6.1 encoding.
+    packed: bool,
 }
 
 impl SuffixIndex {
@@ -38,8 +82,38 @@ impl SuffixIndex {
     }
 
     /// The indexed text, including the trailing terminal symbol.
+    ///
+    /// For store-backed indexes ([`Self::open_mmapless`], packed
+    /// [`Self::load_from_dir`]) the text is materialized from the store on
+    /// first call and cached; that read panics on I/O failure. Queries do
+    /// *not* need this — [`Self::engine`] and the query wrappers resolve edge
+    /// labels straight from the store.
     pub fn text(&self) -> &[u8] {
-        &self.text
+        match &self.backing {
+            TextBacking::Memory(t) => t,
+            TextBacking::Store { store, cache } => cache.get_or_init(|| {
+                Arc::new(store.read_all().expect("materializing the text from its store failed"))
+            }),
+        }
+    }
+
+    /// The store behind a store-backed index (`None` when the text is held in
+    /// memory).
+    pub fn store(&self) -> Option<&dyn StringStore> {
+        match &self.backing {
+            TextBacking::Memory(_) => None,
+            TextBacking::Store { store, .. } => Some(store.as_ref()),
+        }
+    }
+
+    /// The alphabet the text was indexed under.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Whether the index keeps/persists the text in the packed encoding.
+    pub fn is_packed(&self) -> bool {
+        self.packed
     }
 
     /// The underlying partitioned suffix tree.
@@ -52,26 +126,50 @@ impl SuffixIndex {
         &self.report
     }
 
+    /// A [`QueryEngine`] over this index: the in-memory text fast path when
+    /// the text is materialized, the I/O-accounted store path otherwise.
+    pub fn engine(&self) -> QueryEngine<'_> {
+        match &self.backing {
+            TextBacking::Memory(t) => QueryEngine::over_text(&self.tree, t),
+            TextBacking::Store { store, .. } => QueryEngine::over_store(&self.tree, store.as_ref()),
+        }
+    }
+
+    /// Answers a batch of typed queries in one engine pass (single-threaded;
+    /// use `engine().threads(n).run(batch)` for a parallel pass).
+    pub fn query_batch(&self, batch: &QueryBatch) -> EraResult<QueryResponse> {
+        self.engine().run(batch)
+    }
+
     /// Whether `pattern` occurs in the text.
+    ///
+    /// Thin wrapper over [`Self::engine`]; panics on store I/O failure (use
+    /// [`Self::query_batch`] for fallible store-backed querying).
     pub fn contains(&self, pattern: &[u8]) -> bool {
-        self.tree.contains(&self.text, pattern)
+        self.engine().contains(pattern).expect("query I/O failed")
     }
 
     /// Number of occurrences of `pattern`.
+    ///
+    /// Thin wrapper over [`Self::engine`]; panics on store I/O failure (use
+    /// [`Self::query_batch`] for fallible store-backed querying).
     pub fn count(&self, pattern: &[u8]) -> usize {
-        self.tree.count(&self.text, pattern)
+        self.engine().count(pattern).expect("query I/O failed")
     }
 
-    /// All occurrence positions of `pattern`, ascending.
+    /// All occurrence positions of `pattern`, in ascending position order.
+    ///
+    /// Thin wrapper over [`Self::engine`]; panics on store I/O failure (use
+    /// [`Self::query_batch`] for fallible store-backed querying).
     pub fn find_all(&self, pattern: &[u8]) -> Vec<usize> {
-        self.tree.find_all(&self.text, pattern).into_iter().map(|p| p as usize).collect()
+        self.engine().find_all(pattern).expect("query I/O failed")
     }
 
     /// The longest substring that occurs at least twice, as
     /// `(offset, length)`.
     pub fn longest_repeated_substring(&self) -> Option<(usize, usize)> {
         self.tree
-            .longest_repeated_substring(&self.text)
+            .longest_repeated_substring(self.text())
             .map(|(off, len)| (off as usize, len as usize))
     }
 
@@ -84,9 +182,10 @@ impl SuffixIndex {
                 "longest_common_substring requires a generalized index over exactly two strings",
             ));
         };
-        let merged = self.tree.to_single_tree(&self.text);
-        Ok(match merged.longest_common_substring(&self.text, sep) {
-            Some((off, len)) => self.text[off as usize..(off + len) as usize].to_vec(),
+        let text = self.text();
+        let merged = self.tree.to_single_tree(text);
+        Ok(match merged.longest_common_substring(text, sep) {
+            Some((off, len)) => text[off as usize..(off + len) as usize].to_vec(),
             None => Vec::new(),
         })
     }
@@ -98,25 +197,143 @@ impl SuffixIndex {
     }
 
     /// Saves the index (tree + text) into a directory.
+    ///
+    /// The text is persisted in the encoding the index was built with: raw
+    /// (`text.era`, plus a small alphabet sidecar) for raw builds, the §6.1
+    /// packed format (`text.erap`) for packed builds — earlier versions
+    /// silently wrote packed-built indexes raw. [`Self::load_from_dir`] and
+    /// [`Self::open_mmapless`] auto-detect which encoding is present.
     pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> EraResult<()> {
         let dir = dir.as_ref();
         self.tree.save_to_dir(dir)?;
-        std::fs::write(dir.join("text.era"), self.text.as_slice())?;
+        let text = self.text();
+        if self.packed {
+            let body = &text[..text.len() - 1];
+            let _keep = PackedDiskStore::create(
+                dir.join(PACKED_TEXT_FILE),
+                body,
+                self.alphabet.clone(),
+                64 << 10,
+            )?
+            .cleanup_on_drop(false);
+            // A stale raw text from a previous save must not shadow the
+            // packed one on load.
+            let _ = std::fs::remove_file(dir.join(TEXT_FILE));
+            let _ = std::fs::remove_file(dir.join(ALPHABET_FILE));
+        } else {
+            std::fs::write(dir.join(TEXT_FILE), text)?;
+            std::fs::write(dir.join(ALPHABET_FILE), self.alphabet.symbols())?;
+            let _ = std::fs::remove_file(dir.join(PACKED_TEXT_FILE));
+        }
         Ok(())
     }
 
-    /// Loads an index previously written by [`Self::save_to_dir`].
+    /// Loads an index previously written by [`Self::save_to_dir`],
+    /// auto-detecting the persisted text encoding.
+    ///
+    /// A raw text is read into memory (as before); a packed text is *opened*
+    /// as a [`PackedDiskStore`] and served from disk — queries decode only
+    /// the blocks they touch, and the full text is materialized lazily only
+    /// if [`Self::text`] is called.
     pub fn load_from_dir(dir: impl AsRef<Path>) -> EraResult<SuffixIndex> {
         let dir = dir.as_ref();
         let tree = PartitionedSuffixTree::load_from_dir(dir)?;
-        let text = std::fs::read(dir.join("text.era"))?;
+        let packed_path = dir.join(PACKED_TEXT_FILE);
+        if packed_path.exists() {
+            let store = PackedDiskStore::open(&packed_path, 64 << 10)?;
+            return Ok(SuffixIndex {
+                alphabet: store.alphabet().clone(),
+                packed: true,
+                backing: TextBacking::Store { store: Arc::new(store), cache: OnceLock::new() },
+                tree,
+                report: ConstructionReport::default(),
+                separators: Vec::new(),
+            });
+        }
+        let text = std::fs::read(dir.join(TEXT_FILE))?;
+        let alphabet = load_alphabet(dir, &text)?;
         Ok(SuffixIndex {
-            text: Arc::new(text),
+            backing: TextBacking::Memory(Arc::new(text)),
             tree,
             report: ConstructionReport::default(),
             separators: Vec::new(),
+            alphabet,
+            packed: false,
         })
     }
+
+    /// Opens a saved index *without materializing the text*: the tree loads
+    /// into memory (it is small next to the text), and the text stays in a
+    /// [`DiskStore`]/[`PackedDiskStore`] that queries read block-wise through
+    /// the [`QueryEngine`].
+    ///
+    /// This is the serving-path counterpart of disk-based construction: an
+    /// index over a text far larger than RAM can answer `contains`/`count`/
+    /// `locate` batches touching only the blocks the traversals need, with
+    /// the I/O visible in [`QueryResponse::stats`].
+    pub fn open_mmapless(dir: impl AsRef<Path>) -> EraResult<SuffixIndex> {
+        let dir = dir.as_ref();
+        let tree = PartitionedSuffixTree::load_from_dir(dir)?;
+        let packed_path = dir.join(PACKED_TEXT_FILE);
+        let (store, alphabet, packed): (Arc<dyn StringStore>, Alphabet, bool) =
+            if packed_path.exists() {
+                let store = PackedDiskStore::open(&packed_path, 64 << 10)?;
+                let alphabet = store.alphabet().clone();
+                (Arc::new(store), alphabet, true)
+            } else {
+                let text_path = dir.join(TEXT_FILE);
+                let alphabet = load_alphabet_sidecar(dir)
+                    .map(Ok)
+                    .unwrap_or_else(|| infer_alphabet_streaming(&text_path))?;
+                let store = DiskStore::open(&text_path, alphabet.clone(), 64 << 10)?;
+                (Arc::new(store), alphabet, false)
+            };
+        Ok(SuffixIndex {
+            backing: TextBacking::Store { store, cache: OnceLock::new() },
+            tree,
+            report: ConstructionReport::default(),
+            separators: Vec::new(),
+            alphabet,
+            packed,
+        })
+    }
+}
+
+/// The alphabet of a raw persisted text: the sidecar when present, otherwise
+/// inferred from the already-loaded text.
+fn load_alphabet(dir: &Path, text: &[u8]) -> EraResult<Alphabet> {
+    match load_alphabet_sidecar(dir) {
+        Some(alphabet) => Ok(alphabet),
+        None => Ok(Alphabet::infer(text)?),
+    }
+}
+
+/// Reads the alphabet sidecar, if one exists and parses.
+fn load_alphabet_sidecar(dir: &Path) -> Option<Alphabet> {
+    let symbols = std::fs::read(dir.join(ALPHABET_FILE)).ok()?;
+    Alphabet::custom(&symbols).ok()
+}
+
+/// Infers the alphabet of a raw text file in one streaming pass (bounded
+/// memory — the mmapless open must not materialize the text just to learn
+/// its symbols).
+fn infer_alphabet_streaming(path: &Path) -> EraResult<Alphabet> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let mut seen = [false; 256];
+    let mut buf = vec![0u8; 64 << 10];
+    loop {
+        let got = file.read(&mut buf)?;
+        if got == 0 {
+            break;
+        }
+        for &b in &buf[..got] {
+            seen[b as usize] = true;
+        }
+    }
+    let symbols: Vec<u8> =
+        (1u16..256).map(|b| b as u8).filter(|&b| b != TERMINAL && seen[b as usize]).collect();
+    Ok(Alphabet::custom(&symbols)?)
 }
 
 /// Builder for [`SuffixIndex`].
@@ -314,13 +531,21 @@ impl SuffixIndexBuilder {
             SchedulerKind::Auto | SchedulerKind::Serial => construct_serial(store, &self.config)?,
         };
         let text = store.read_all()?;
-        Ok(SuffixIndex { text: Arc::new(text), tree, report, separators })
+        Ok(SuffixIndex {
+            backing: TextBacking::Memory(Arc::new(text)),
+            tree,
+            report,
+            separators,
+            alphabet: store.alphabet().clone(),
+            packed: store.is_packed(),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::{Query, QueryAnswer, QueryBatch};
 
     #[test]
     fn quickstart_queries() {
@@ -332,6 +557,23 @@ mod tests {
         assert!(!index.contains(b"AAA"));
         assert_eq!(index.suffix_array().len(), text.len() + 1);
         assert!(index.report().elapsed.as_nanos() > 0);
+        assert!(index.store().is_none());
+        assert!(!index.is_packed());
+    }
+
+    #[test]
+    fn find_all_positions_are_ascending() {
+        // Regression: the docs promise ascending positions, but a sub-tree's
+        // leaves come out in lexicographic suffix order — "an" in "banana"
+        // yields lexicographic [1, 3] vs ascending [1, 3] but "na" yields
+        // [4, 2]: the index must sort.
+        let index = SuffixIndex::builder().build_from_bytes(b"banana").unwrap();
+        assert_eq!(index.find_all(b"na"), vec![2, 4]);
+        let index = SuffixIndex::builder().build_from_bytes(b"mississippi").unwrap();
+        for pattern in [&b"i"[..], b"ss", b"issi", b"p", b"s"] {
+            let positions = index.find_all(pattern);
+            assert!(positions.windows(2).all(|w| w[0] < w[1]), "pattern {pattern:?}");
+        }
     }
 
     #[test]
@@ -368,6 +610,78 @@ mod tests {
         let loaded = SuffixIndex::load_from_dir(&dir).unwrap();
         assert_eq!(loaded.find_all(b"abra"), index.find_all(b"abra"));
         assert_eq!(loaded.count(b"a"), index.count(b"a"));
+        assert_eq!(loaded.alphabet().symbols(), index.alphabet().symbols());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn packed_save_load_roundtrip_keeps_the_encoding() {
+        // Regression: save_to_dir used to discard the packed encoding and
+        // write the text raw. A packed-built index must persist packed and be
+        // detected on load, serving queries from the packed store.
+        let dir = std::env::temp_dir().join(format!("era-index-packed-{}", std::process::id()));
+        let body = b"GATTACAGATTACAGGATCCGATTACA";
+        let index = SuffixIndex::builder().packed(true).build_from_bytes(body).unwrap();
+        assert!(index.is_packed());
+        index.save_to_dir(&dir).unwrap();
+        assert!(dir.join(PACKED_TEXT_FILE).exists());
+        assert!(!dir.join(TEXT_FILE).exists());
+
+        let loaded = SuffixIndex::load_from_dir(&dir).unwrap();
+        assert!(loaded.is_packed());
+        let store = loaded.store().expect("packed load serves from the store");
+        assert!(store.is_packed());
+        assert_eq!(loaded.find_all(b"GATTACA"), index.find_all(b"GATTACA"));
+        assert_eq!(loaded.count(b"AT"), index.count(b"AT"));
+        assert!(store.stats().snapshot().bytes_read > 0, "queries must hit the store");
+        // The text cache materializes lazily and matches.
+        assert_eq!(loaded.text(), index.text());
+
+        // Re-saving raw over the same dir replaces the packed file.
+        let raw = SuffixIndex::builder().build_from_bytes(body).unwrap();
+        raw.save_to_dir(&dir).unwrap();
+        assert!(!dir.join(PACKED_TEXT_FILE).exists());
+        let reloaded = SuffixIndex::load_from_dir(&dir).unwrap();
+        assert!(!reloaded.is_packed());
+        assert_eq!(reloaded.find_all(b"GATTACA"), index.find_all(b"GATTACA"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_mmapless_serves_queries_from_disk() {
+        let dir = std::env::temp_dir().join(format!("era-index-mmapless-{}", std::process::id()));
+        let body = b"TGGTGGTGGTGCGGTGATGGTGC";
+        for packed in [false, true] {
+            let built = SuffixIndex::builder().packed(packed).build_from_bytes(body).unwrap();
+            built.save_to_dir(&dir).unwrap();
+            let served = SuffixIndex::open_mmapless(&dir).unwrap();
+            assert_eq!(served.is_packed(), packed);
+            let store = served.store().expect("mmapless index is store-backed");
+            let batch = QueryBatch::new()
+                .push(Query::locate(&b"TG"[..]))
+                .push(Query::count(&b"TGC"[..]))
+                .push(Query::contains(&b"GGTGATG"[..]));
+            let response = served.query_batch(&batch).unwrap();
+            assert_eq!(response.results[0], QueryAnswer::Locate(vec![0, 3, 6, 9, 14, 17, 20]));
+            assert_eq!(response.results[1], QueryAnswer::Count(2));
+            assert_eq!(response.results[2], QueryAnswer::Contains(true));
+            assert!(response.stats.io.bytes_read > 0, "packed={packed}");
+            assert_eq!(store.len(), body.len() + 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_mmapless_infers_alphabet_without_sidecar() {
+        // Directories saved before the sidecar existed only hold text.era;
+        // the streaming inference must recover a usable alphabet.
+        let dir = std::env::temp_dir().join(format!("era-index-legacy-{}", std::process::id()));
+        let index = SuffixIndex::builder().build_from_bytes(b"abracadabra").unwrap();
+        index.save_to_dir(&dir).unwrap();
+        std::fs::remove_file(dir.join(ALPHABET_FILE)).unwrap();
+        let served = SuffixIndex::open_mmapless(&dir).unwrap();
+        assert_eq!(served.find_all(b"abra"), index.find_all(b"abra"));
+        assert_eq!(served.alphabet().symbols(), index.alphabet().symbols());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -406,6 +720,7 @@ mod tests {
         assert_eq!(packed.count(b"TG"), 7);
         assert_eq!(packed.find_all(b"TGC"), raw.find_all(b"TGC"));
         assert_eq!(packed.text(), raw.text());
+        assert!(packed.is_packed() && !raw.is_packed());
     }
 
     #[test]
@@ -440,6 +755,7 @@ mod tests {
         let from_packed =
             SuffixIndex::builder().build_from_path(&packed_path, Alphabet::dna()).unwrap();
         assert_eq!(from_packed.suffix_array(), from_raw.suffix_array());
+        assert!(from_packed.is_packed(), "magic-detected packed files keep the packed encoding");
         assert!(SuffixIndex::builder().build_from_path(&packed_path, Alphabet::protein()).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }

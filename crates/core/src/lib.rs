@@ -51,11 +51,28 @@
 //! [`SuffixIndexBuilder::threads`] routes through
 //! [`config::SchedulerKind`] so the right scheduler is chosen automatically.
 //! The scheduler trait is the seam future backends (async-I/O stores,
-//! distributed workers, batched query builds) plug into without touching the
-//! pipeline. Orthogonally, [`SuffixIndexBuilder::packed`] swaps the raw
-//! string stores for the bit-packed backends of `era-string-store` (§6.1:
-//! 2-bit DNA, 5-bit protein/English), cutting the bytes fetched by every
-//! construction scan by the packing ratio under any scheduler.
+//! distributed workers) plug into without touching the pipeline.
+//! Orthogonally, [`SuffixIndexBuilder::packed`] swaps the raw string stores
+//! for the bit-packed backends of `era-string-store` (§6.1: 2-bit DNA, 5-bit
+//! protein/English), cutting the bytes fetched by every construction scan by
+//! the packing ratio under any scheduler.
+//!
+//! ## Query serving: the store-backed batched engine
+//!
+//! Serving mirrors construction's store abstraction. The [`query`] module
+//! provides typed requests ([`Query::Contains`], [`Query::Count`],
+//! [`Query::Locate`] with paging) that a [`QueryEngine`] answers in batches:
+//! patterns are routed by their leading symbols through the partition trie,
+//! grouped per sub-tree, and executed on a worker pool shaped like the
+//! construction schedulers, each worker resolving edge labels through a
+//! `TextSource` — the materialized text when available, or a reused window
+//! over any raw/packed `StringStore` otherwise. [`SuffixIndex::engine`] and
+//! [`SuffixIndex::query_batch`] are the entry points;
+//! [`SuffixIndex::open_mmapless`] serves a saved index straight from its
+//! `DiskStore`/`PackedDiskStore` without ever materializing the text, with
+//! the I/O of every batch reported in [`QueryStats`]. The classic
+//! [`SuffixIndex::contains`]/[`SuffixIndex::count`]/[`SuffixIndex::find_all`]
+//! remain as thin single-query wrappers.
 //!
 //! ## Crate layout
 //!
@@ -69,6 +86,8 @@
 //!   three [`pipeline::GroupScheduler`] implementations.
 //! * [`scan`] — sequential multi-pattern occurrence scans over the
 //!   zero-copy block cursor of `era-string-store`.
+//! * [`query`] — the batched [`QueryEngine`], typed [`Query`] requests and
+//!   [`QueryStats`] I/O accounting over in-memory or store-backed texts.
 //! * [`serial`], [`parallel_sm`], [`parallel_sn`] — the public driver entry
 //!   points of §4/§5, now thin wrappers over the pipeline.
 //! * [`SuffixIndex`] — the user-facing API combining construction and queries.
@@ -83,6 +102,7 @@ pub mod index;
 pub mod parallel_sm;
 pub mod parallel_sn;
 pub mod pipeline;
+pub mod query;
 pub mod report;
 pub mod scan;
 pub mod serial;
@@ -97,6 +117,7 @@ pub use pipeline::{
     ConstructionPipeline, GroupScheduler, ScheduleOutcome, SerialScheduler, SharedMemoryScheduler,
     SharedNothingScheduler,
 };
+pub use query::{Query, QueryAnswer, QueryBatch, QueryEngine, QueryResponse, QueryStats};
 pub use report::{ConstructionReport, NodeReport};
 pub use serial::construct_serial;
 pub use vertical::{vertical_partition, PrefixFrequency, VerticalPartitioning, VirtualTree};

@@ -1,0 +1,579 @@
+//! The batched query layer (§1's query serving, redesigned around stores).
+//!
+//! The paper motivates ERA's trees with serving exact-match, counting and
+//! occurrence-listing queries over massive genomes. This module is that
+//! serving path: a [`QueryEngine`] layered over the
+//! [`StringStore`](era_string_store::StringStore) abstraction, so edge labels
+//! resolve either from an in-memory byte slice (the zero-overhead fast path)
+//! or from a raw/packed store through
+//! [`StoreTextSource`](era_string_store::StoreTextSource)'s reused window
+//! buffer — the text never has to be materialized, and every byte the
+//! traversals fetch is visible in the store's I/O counters.
+//!
+//! Queries are typed ([`Query::Contains`], [`Query::Count`],
+//! [`Query::Locate`] with paging) and submitted in a [`QueryBatch`]. The
+//! engine routes each pattern by its first symbols through the partition trie
+//! — the same first-symbol bucketing idea the construction-side multi-pattern
+//! matcher uses (`crate::scan::collect_occurrences`) — groups the work by
+//! tree partition, and executes the partitions on a worker pool shaped like
+//! the construction schedulers (reserved-first assignment plus a shared
+//! dynamic queue). Each worker reuses one window buffer across every pattern
+//! it serves, which is where the batched path beats issuing the same queries
+//! one by one. The [`QueryResponse`] carries per-query results plus a
+//! [`QueryStats`] snapshot (wall-clock, partition visits, and the store's I/O
+//! delta).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use era_string_store::{IoSnapshot, StoreResult, StoreTextSource, StringStore, TextSource};
+use era_suffix_tree::{MatchResult, PartitionedSuffixTree};
+
+use crate::error::{EraError, EraResult};
+
+/// One typed query over the indexed text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Does the pattern occur at all?
+    Contains {
+        /// The pattern to search for.
+        pattern: Vec<u8>,
+    },
+    /// How many times does the pattern occur?
+    Count {
+        /// The pattern to search for.
+        pattern: Vec<u8>,
+    },
+    /// Where does the pattern occur? Positions are reported ascending.
+    Locate {
+        /// The pattern to search for.
+        pattern: Vec<u8>,
+        /// Positions to skip from the front of the ascending result.
+        offset: usize,
+        /// Maximum number of positions to return (`None` = all).
+        limit: Option<usize>,
+    },
+}
+
+impl Query {
+    /// A containment query.
+    pub fn contains(pattern: impl Into<Vec<u8>>) -> Self {
+        Query::Contains { pattern: pattern.into() }
+    }
+
+    /// An occurrence-count query.
+    pub fn count(pattern: impl Into<Vec<u8>>) -> Self {
+        Query::Count { pattern: pattern.into() }
+    }
+
+    /// An occurrence-listing query returning every position.
+    pub fn locate(pattern: impl Into<Vec<u8>>) -> Self {
+        Query::Locate { pattern: pattern.into(), offset: 0, limit: None }
+    }
+
+    /// An occurrence-listing query returning one page of positions.
+    pub fn locate_page(pattern: impl Into<Vec<u8>>, offset: usize, limit: usize) -> Self {
+        Query::Locate { pattern: pattern.into(), offset, limit: Some(limit) }
+    }
+
+    /// The pattern this query searches for.
+    pub fn pattern(&self) -> &[u8] {
+        match self {
+            Query::Contains { pattern }
+            | Query::Count { pattern }
+            | Query::Locate { pattern, .. } => pattern,
+        }
+    }
+}
+
+/// The answer to one [`Query`], in the same position of
+/// [`QueryResponse::results`] as the query held in the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryAnswer {
+    /// Answer to a [`Query::Contains`].
+    Contains(bool),
+    /// Answer to a [`Query::Count`].
+    Count(usize),
+    /// Answer to a [`Query::Locate`]: ascending positions, paged by the
+    /// query's `offset`/`limit`.
+    Locate(Vec<usize>),
+}
+
+impl QueryAnswer {
+    /// The boolean of a [`QueryAnswer::Contains`] (panics otherwise).
+    pub fn is_match(&self) -> bool {
+        match self {
+            QueryAnswer::Contains(b) => *b,
+            other => panic!("expected a Contains answer, got {other:?}"),
+        }
+    }
+
+    /// The count of a [`QueryAnswer::Count`] (panics otherwise).
+    pub fn occurrences(&self) -> usize {
+        match self {
+            QueryAnswer::Count(n) => *n,
+            other => panic!("expected a Count answer, got {other:?}"),
+        }
+    }
+
+    /// The positions of a [`QueryAnswer::Locate`] (panics otherwise).
+    pub fn positions(&self) -> &[usize] {
+        match self {
+            QueryAnswer::Locate(p) => p,
+            other => panic!("expected a Locate answer, got {other:?}"),
+        }
+    }
+}
+
+/// An ordered batch of queries answered in one engine pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryBatch {
+    queries: Vec<Query>,
+}
+
+impl QueryBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        QueryBatch::default()
+    }
+
+    /// Appends a query, returning the batch for chaining.
+    pub fn push(mut self, query: Query) -> Self {
+        self.queries.push(query);
+        self
+    }
+
+    /// Appends a query in place.
+    pub fn add(&mut self, query: Query) {
+        self.queries.push(query);
+    }
+
+    /// The queries in submission order.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+impl From<Vec<Query>> for QueryBatch {
+    fn from(queries: Vec<Query>) -> Self {
+        QueryBatch { queries }
+    }
+}
+
+impl FromIterator<Query> for QueryBatch {
+    fn from_iter<I: IntoIterator<Item = Query>>(iter: I) -> Self {
+        QueryBatch { queries: iter.into_iter().collect() }
+    }
+}
+
+/// Measurements of one batch execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Wall-clock time of the whole batch.
+    pub elapsed: Duration,
+    /// Number of queries answered.
+    pub queries: usize,
+    /// Number of (partition, query) matches executed — every partition visit
+    /// across all queries.
+    pub partition_visits: usize,
+    /// I/O the batch caused on the backing store (all-zero for the in-memory
+    /// text fast path, which performs no accounted I/O).
+    pub io: IoSnapshot,
+}
+
+impl QueryStats {
+    /// Queries answered per second (0 when the batch was empty or instant).
+    pub fn queries_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / secs
+        }
+    }
+}
+
+/// Results of a batch, in submission order, plus the execution stats.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// One answer per query, in the order the batch held them.
+    pub results: Vec<QueryAnswer>,
+    /// Timing and I/O of the batch.
+    pub stats: QueryStats,
+}
+
+/// What a worker produced for one `(query, partition)` visit.
+enum Partial {
+    Contains(bool),
+    Count(usize),
+    Locate(Vec<u32>),
+}
+
+/// How the engine resolves edge labels.
+enum Backing<'a> {
+    /// The materialized text: infallible, no I/O accounting.
+    Text(&'a [u8]),
+    /// Any store, raw or packed: served through per-worker
+    /// [`StoreTextSource`] windows, every fetch I/O-accounted.
+    Store(&'a dyn StringStore),
+}
+
+/// A per-worker text view (one window buffer per worker for store backings).
+enum WorkerSource<'a> {
+    Text(&'a [u8]),
+    Store(StoreTextSource<'a>),
+}
+
+impl TextSource for WorkerSource<'_> {
+    fn len(&self) -> usize {
+        match self {
+            WorkerSource::Text(t) => t.len(),
+            WorkerSource::Store(s) => s.len(),
+        }
+    }
+
+    fn symbol_at(&self, pos: usize) -> StoreResult<u8> {
+        match self {
+            WorkerSource::Text(t) => t.symbol_at(pos),
+            WorkerSource::Store(s) => s.symbol_at(pos),
+        }
+    }
+
+    fn common_prefix(&self, start: usize, end: usize, pat: &[u8]) -> StoreResult<usize> {
+        match self {
+            WorkerSource::Text(t) => t.common_prefix(start, end, pat),
+            WorkerSource::Store(s) => s.common_prefix(start, end, pat),
+        }
+    }
+}
+
+/// Serves typed query batches from a [`PartitionedSuffixTree`] over either
+/// the materialized text or any [`StringStore`].
+///
+/// Construct one with [`QueryEngine::over_text`] or
+/// [`QueryEngine::over_store`] (or [`crate::SuffixIndex::engine`], which
+/// picks the right backing automatically), optionally widen the worker pool
+/// with [`QueryEngine::threads`], and [`QueryEngine::run`] batches against
+/// it. The engine borrows the tree and backing, so it is cheap to create per
+/// request.
+pub struct QueryEngine<'a> {
+    tree: &'a PartitionedSuffixTree,
+    backing: Backing<'a>,
+    threads: usize,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// An engine answering from the materialized text (no I/O, infallible
+    /// label resolution).
+    pub fn over_text(tree: &'a PartitionedSuffixTree, text: &'a [u8]) -> Self {
+        QueryEngine { tree, backing: Backing::Text(text), threads: 1 }
+    }
+
+    /// An engine answering from a store — raw or packed, in memory or on
+    /// disk — without materializing the text.
+    pub fn over_store(tree: &'a PartitionedSuffixTree, store: &'a dyn StringStore) -> Self {
+        QueryEngine { tree, backing: Backing::Store(store), threads: 1 }
+    }
+
+    /// Sets the worker-pool width for batch execution (min 1). Workers split
+    /// the batch by tree partition, like the construction schedulers split
+    /// virtual trees.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Answers one containment query.
+    ///
+    /// Single queries skip the batch machinery: a direct trie-routed tree
+    /// walk over a fresh text view, no per-batch bookkeeping.
+    pub fn contains(&self, pattern: &[u8]) -> EraResult<bool> {
+        let source = self.worker_source();
+        Ok(self.tree.try_contains(&source, pattern)?)
+    }
+
+    /// Answers one count query.
+    pub fn count(&self, pattern: &[u8]) -> EraResult<usize> {
+        let source = self.worker_source();
+        Ok(self.tree.try_count(&source, pattern)?)
+    }
+
+    /// Answers one locate query: every occurrence position, ascending.
+    pub fn find_all(&self, pattern: &[u8]) -> EraResult<Vec<usize>> {
+        let source = self.worker_source();
+        let positions = self.tree.try_find_all(&source, pattern)?;
+        Ok(positions.into_iter().map(|p| p as usize).collect())
+    }
+
+    /// Executes a batch: routes every pattern through the partition trie,
+    /// runs the touched partitions on the worker pool, merges per-partition
+    /// partials, and snapshots timing and I/O.
+    pub fn run(&self, batch: &QueryBatch) -> EraResult<QueryResponse> {
+        let start = Instant::now();
+        let io_before = match self.backing {
+            Backing::Store(store) => Some(store.stats().snapshot()),
+            Backing::Text(_) => None,
+        };
+
+        // --- Route: first symbol(s) → candidate partitions, grouped so each
+        // partition is visited once with every query that needs it. ---
+        let partitions = self.tree.partitions();
+        let mut per_partition: Vec<Vec<u32>> = vec![Vec::new(); partitions.len()];
+        let mut visits = 0usize;
+        for (qi, query) in batch.queries().iter().enumerate() {
+            let pattern = query.pattern();
+            // Empty patterns match everywhere; route them to every partition
+            // (each contributes its own leaves).
+            if pattern.is_empty() {
+                for bucket in per_partition.iter_mut() {
+                    bucket.push(qi as u32);
+                    visits += 1;
+                }
+                continue;
+            }
+            for p in self.tree.trie().candidates(pattern) {
+                per_partition[p as usize].push(qi as u32);
+                visits += 1;
+            }
+        }
+        let work: Vec<(usize, Vec<u32>)> = per_partition
+            .into_iter()
+            .enumerate()
+            .filter(|(_, queries)| !queries.is_empty())
+            .collect();
+
+        // --- Execute: partitions in parallel, one reused text window per
+        // worker, reserved-first + dynamic queue like the shared-memory
+        // scheduler. ---
+        let threads = self.threads.min(work.len()).max(1);
+        let partials: Vec<Vec<(u32, Partial)>> = if threads == 1 {
+            let source = self.worker_source();
+            vec![run_work_items(self.tree, &source, batch, &work, 0, work.len())?]
+        } else {
+            let next = AtomicUsize::new(threads);
+            let results: Vec<EraResult<Vec<(u32, Partial)>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|worker| {
+                        let next = &next;
+                        let work = &work;
+                        scope.spawn(move || {
+                            let source = self.worker_source();
+                            let mut out = Vec::new();
+                            let mut idx = worker;
+                            while idx < work.len() {
+                                out.extend(run_work_items(
+                                    self.tree,
+                                    &source,
+                                    batch,
+                                    work,
+                                    idx,
+                                    idx + 1,
+                                )?);
+                                idx = next.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("query worker must not panic"))
+                    .collect()
+            });
+            results.into_iter().collect::<EraResult<Vec<_>>>()?
+        };
+
+        // --- Merge the per-partition partials back into per-query answers,
+        // in submission order. ---
+        let mut results: Vec<QueryAnswer> = batch
+            .queries()
+            .iter()
+            .map(|q| match q {
+                Query::Contains { .. } => QueryAnswer::Contains(false),
+                Query::Count { .. } => QueryAnswer::Count(0),
+                Query::Locate { .. } => QueryAnswer::Locate(Vec::new()),
+            })
+            .collect();
+        let mut positions: Vec<Vec<u32>> = vec![Vec::new(); batch.len()];
+        for (qi, partial) in partials.into_iter().flatten() {
+            let qi = qi as usize;
+            match (partial, &mut results[qi]) {
+                (Partial::Contains(found), QueryAnswer::Contains(hit)) => *hit |= found,
+                (Partial::Count(n), QueryAnswer::Count(total)) => *total += n,
+                (Partial::Locate(mut p), QueryAnswer::Locate(_)) => {
+                    positions[qi].append(&mut p);
+                }
+                _ => unreachable!("partial kind always matches its query kind"),
+            }
+        }
+        for (qi, query) in batch.queries().iter().enumerate() {
+            if let Query::Locate { offset, limit, .. } = query {
+                let mut p = std::mem::take(&mut positions[qi]);
+                p.sort_unstable();
+                let page: Vec<usize> = p
+                    .into_iter()
+                    .map(|pos| pos as usize)
+                    .skip(*offset)
+                    .take(limit.unwrap_or(usize::MAX))
+                    .collect();
+                results[qi] = QueryAnswer::Locate(page);
+            }
+        }
+
+        let io = match (io_before, &self.backing) {
+            (Some(before), Backing::Store(store)) => store.stats().snapshot().since(&before),
+            _ => IoSnapshot::default(),
+        };
+        Ok(QueryResponse {
+            results,
+            stats: QueryStats {
+                elapsed: start.elapsed(),
+                queries: batch.len(),
+                partition_visits: visits,
+                io,
+            },
+        })
+    }
+
+    fn worker_source(&self) -> WorkerSource<'a> {
+        match self.backing {
+            Backing::Text(text) => WorkerSource::Text(text),
+            Backing::Store(store) => WorkerSource::Store(StoreTextSource::new(store)),
+        }
+    }
+}
+
+/// Runs the work items `work[from..to]` against one text source, producing
+/// `(query index, partial)` pairs.
+fn run_work_items(
+    tree: &PartitionedSuffixTree,
+    source: &WorkerSource<'_>,
+    batch: &QueryBatch,
+    work: &[(usize, Vec<u32>)],
+    from: usize,
+    to: usize,
+) -> EraResult<Vec<(u32, Partial)>> {
+    let mut out = Vec::new();
+    for (partition_idx, query_indices) in &work[from..to] {
+        let subtree = &tree.partitions()[*partition_idx].tree;
+        for &qi in query_indices {
+            let query = &batch.queries()[qi as usize];
+            let matched =
+                subtree.try_match_pattern(source, query.pattern()).map_err(EraError::from)?;
+            let partial = match (query, matched) {
+                (Query::Contains { .. }, m) => {
+                    Partial::Contains(matches!(m, MatchResult::Complete { .. }))
+                }
+                (Query::Count { .. }, MatchResult::Complete { node }) => {
+                    Partial::Count(subtree.leaves_below(node).len())
+                }
+                (Query::Count { .. }, MatchResult::NoMatch) => Partial::Count(0),
+                (Query::Locate { .. }, MatchResult::Complete { node }) => {
+                    Partial::Locate(subtree.leaves_below(node))
+                }
+                (Query::Locate { .. }, MatchResult::NoMatch) => Partial::Locate(Vec::new()),
+            };
+            out.push((qi, partial));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SuffixIndex;
+    use era_string_store::{Alphabet, InMemoryStore, PackedMemoryStore};
+
+    const BODY: &[u8] = b"TGGTGGTGGTGCGGTGATGGTGC";
+
+    fn index() -> SuffixIndex {
+        SuffixIndex::builder().memory_budget(1 << 20).build_from_bytes(BODY).unwrap()
+    }
+
+    #[test]
+    fn batch_answers_match_single_query_api() {
+        let index = index();
+        let batch = QueryBatch::new()
+            .push(Query::contains(&b"GGTGATG"[..]))
+            .push(Query::contains(&b"AAA"[..]))
+            .push(Query::count(&b"TG"[..]))
+            .push(Query::locate(&b"TGC"[..]))
+            .push(Query::locate_page(&b"TG"[..], 2, 3))
+            .push(Query::count(&b""[..]))
+            .push(Query::locate(&b"TGGTGGTGGTGCGGTGATGGTGCX"[..]));
+        let response = index.query_batch(&batch).unwrap();
+        assert_eq!(response.results[0], QueryAnswer::Contains(true));
+        assert_eq!(response.results[1], QueryAnswer::Contains(false));
+        assert_eq!(response.results[2], QueryAnswer::Count(7));
+        assert_eq!(response.results[3], QueryAnswer::Locate(vec![9, 20]));
+        assert_eq!(response.results[4], QueryAnswer::Locate(vec![6, 9, 14]));
+        assert_eq!(response.results[5], QueryAnswer::Count(BODY.len() + 1));
+        assert_eq!(response.results[6], QueryAnswer::Locate(Vec::new()));
+        assert_eq!(response.stats.queries, 7);
+        assert!(response.stats.partition_visits >= 7);
+    }
+
+    #[test]
+    fn store_backed_engine_accounts_io_and_matches_text_path() {
+        let index = index();
+        let raw = InMemoryStore::from_body(BODY, Alphabet::dna()).unwrap();
+        let packed = PackedMemoryStore::from_body(BODY, Alphabet::dna()).unwrap();
+        let batch: QueryBatch = [&b"TG"[..], b"TGC", b"GGTGATG", b"AAA", b"", b"C"]
+            .iter()
+            .map(|p| Query::locate(*p))
+            .collect();
+        let from_text = index.query_batch(&batch).unwrap();
+        for store in [&raw as &dyn era_string_store::StringStore, &packed] {
+            let engine = QueryEngine::over_store(index.tree(), store);
+            let response = engine.run(&batch).unwrap();
+            assert_eq!(response.results, from_text.results);
+            assert!(response.stats.io.bytes_read > 0, "store path must be I/O-accounted");
+        }
+        assert_eq!(from_text.stats.io, IoSnapshot::default());
+        // 2-bit symbols: the packed store served the same batch in fewer bytes.
+        assert!(
+            packed.stats().snapshot().bytes_read < raw.stats().snapshot().bytes_read,
+            "packed {} vs raw {}",
+            packed.stats().snapshot().bytes_read,
+            raw.stats().snapshot().bytes_read
+        );
+    }
+
+    #[test]
+    fn multithreaded_batches_are_deterministic() {
+        let index = index();
+        let patterns: Vec<Query> = (0..80)
+            .map(|i| {
+                let start = i % BODY.len();
+                let end = (start + 1 + i % 7).min(BODY.len());
+                Query::locate(&BODY[start..end])
+            })
+            .collect();
+        let batch = QueryBatch::from(patterns);
+        let serial = index.engine().run(&batch).unwrap();
+        let parallel = index.engine().threads(4).run(&batch).unwrap();
+        assert_eq!(serial.results, parallel.results);
+    }
+
+    #[test]
+    fn stats_report_throughput() {
+        let stats = QueryStats {
+            elapsed: Duration::from_millis(500),
+            queries: 100,
+            ..QueryStats::default()
+        };
+        assert!((stats.queries_per_second() - 200.0).abs() < 1e-9);
+        assert_eq!(QueryStats::default().queries_per_second(), 0.0);
+    }
+}

@@ -32,6 +32,11 @@
 //!   requested symbol.
 //! * [`SequentialScanner`] — a copy-out adapter over [`BlockCursor`] for
 //!   callers that keep the requested bytes in their own buffers.
+//! * [`TextSource`] / [`StoreTextSource`] — the *random-access* counterpart
+//!   of [`BlockCursor`] for query serving: the two operations a suffix-tree
+//!   walk needs (symbol at a position, common prefix of an edge label and a
+//!   pattern), served from a byte slice or from any store — raw or packed —
+//!   through one reused window buffer, with every fetch I/O-accounted.
 //! * [`IoStats`] / [`IoSnapshot`] — thread-safe I/O counters.
 //! * [`packed`] — the word-level 2-bit / 5-bit symbol codec underneath the
 //!   packed stores.
@@ -49,6 +54,7 @@ pub mod packed_store;
 pub mod scanner;
 pub mod stats;
 pub mod store;
+pub mod text_source;
 
 pub use alphabet::{Alphabet, AlphabetKind, TERMINAL};
 pub use cursor::BlockCursor;
@@ -60,3 +66,4 @@ pub use packed_store::{PackedDiskStore, PackedMemoryStore};
 pub use scanner::{ScanRequest, SequentialScanner};
 pub use stats::{IoSnapshot, IoStats};
 pub use store::StringStore;
+pub use text_source::{StoreTextSource, TextSource, DEFAULT_WINDOW_SYMBOLS};

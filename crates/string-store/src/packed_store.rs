@@ -198,6 +198,10 @@ impl StringStore for PackedMemoryStore {
         blocks_per_logical(self.block_bytes, self.packed.bits_per_symbol())
     }
 
+    fn is_packed(&self) -> bool {
+        true
+    }
+
     fn stats(&self) -> &IoStats {
         &self.stats
     }
@@ -527,6 +531,10 @@ impl StringStore for PackedDiskStore {
 
     fn physical_blocks_per_block(&self) -> u64 {
         blocks_per_logical(self.block_bytes, self.codec.bits())
+    }
+
+    fn is_packed(&self) -> bool {
+        true
     }
 
     fn stats(&self) -> &IoStats {

@@ -44,6 +44,15 @@ pub trait StringStore: Send + Sync {
         1
     }
 
+    /// Whether the store keeps the string in the bit-packed §6.1 encoding
+    /// (`false` for the raw 1-byte-per-symbol backends).
+    ///
+    /// Callers that persist or re-materialize the string use this to keep the
+    /// encoding a store was built with.
+    fn is_packed(&self) -> bool {
+        false
+    }
+
     /// The I/O counters of this store.
     fn stats(&self) -> &IoStats;
 
@@ -101,6 +110,9 @@ impl<T: StringStore + ?Sized> StringStore for &T {
     fn physical_blocks_per_block(&self) -> u64 {
         (**self).physical_blocks_per_block()
     }
+    fn is_packed(&self) -> bool {
+        (**self).is_packed()
+    }
     fn stats(&self) -> &IoStats {
         (**self).stats()
     }
@@ -121,6 +133,9 @@ impl<T: StringStore + ?Sized> StringStore for std::sync::Arc<T> {
     }
     fn physical_blocks_per_block(&self) -> u64 {
         (**self).physical_blocks_per_block()
+    }
+    fn is_packed(&self) -> bool {
+        (**self).is_packed()
     }
     fn stats(&self) -> &IoStats {
         (**self).stats()

@@ -1,0 +1,286 @@
+//! Random-access text views for query serving.
+//!
+//! Construction reads the string through strictly sequential passes
+//! ([`crate::BlockCursor`]); *queries* walk a suffix tree instead, hopping
+//! between edge labels scattered over the whole text. [`TextSource`] is the
+//! abstraction the query layer traverses: the two operations a tree walk
+//! needs (the symbol at a position, and the common prefix of an edge label
+//! with a pattern), served either from a byte slice (the in-memory fast
+//! path, zero overhead) or from any [`StringStore`] — raw *or* bit-packed —
+//! through [`StoreTextSource`]'s reused window buffer, so an index can answer
+//! queries without ever materializing the text and every byte fetched shows
+//! up in the store's [`IoStats`](crate::IoStats).
+
+use std::cell::RefCell;
+
+use crate::error::{StoreError, StoreResult};
+use crate::store::StringStore;
+
+/// Read access to the indexed text at the granularity a suffix-tree traversal
+/// needs.
+///
+/// Implementations exist for byte slices (`[u8]`, `Vec<u8>`, references) —
+/// infallible, zero overhead — and for every [`StringStore`] via
+/// [`StoreTextSource`], which serves both operations from a reused
+/// block-aligned window buffer and therefore works for raw and packed, in
+/// memory and on disk.
+pub trait TextSource {
+    /// Total length of the text, *including* the terminal symbol.
+    fn len(&self) -> usize;
+
+    /// Whether the text is empty (never true for a valid indexed text).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The symbol at `pos`.
+    fn symbol_at(&self, pos: usize) -> StoreResult<u8>;
+
+    /// Length of the longest common prefix of `text[start..end]` and `pat`.
+    ///
+    /// `end` is clamped to the text length; at most
+    /// `min(end - start, pat.len())` symbols are compared (and fetched), so
+    /// the cost of matching an edge is bounded by the pattern length, not the
+    /// edge length.
+    fn common_prefix(&self, start: usize, end: usize, pat: &[u8]) -> StoreResult<usize>;
+}
+
+impl TextSource for [u8] {
+    fn len(&self) -> usize {
+        self.len()
+    }
+
+    fn symbol_at(&self, pos: usize) -> StoreResult<u8> {
+        self.get(pos).copied().ok_or(StoreError::OutOfBounds { pos, len: 1, text_len: self.len() })
+    }
+
+    fn common_prefix(&self, start: usize, end: usize, pat: &[u8]) -> StoreResult<usize> {
+        let end = end.min(self.len());
+        if start > end {
+            return Err(StoreError::OutOfBounds { pos: start, len: 0, text_len: self.len() });
+        }
+        Ok(self[start..end].iter().zip(pat).take_while(|(a, b)| a == b).count())
+    }
+}
+
+impl TextSource for Vec<u8> {
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    fn symbol_at(&self, pos: usize) -> StoreResult<u8> {
+        self.as_slice().symbol_at(pos)
+    }
+
+    fn common_prefix(&self, start: usize, end: usize, pat: &[u8]) -> StoreResult<usize> {
+        self.as_slice().common_prefix(start, end, pat)
+    }
+}
+
+impl<T: TextSource + ?Sized> TextSource for &T {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn symbol_at(&self, pos: usize) -> StoreResult<u8> {
+        (**self).symbol_at(pos)
+    }
+
+    fn common_prefix(&self, start: usize, end: usize, pat: &[u8]) -> StoreResult<usize> {
+        (**self).common_prefix(start, end, pat)
+    }
+}
+
+/// Default window size of a [`StoreTextSource`], in symbols.
+///
+/// Sized in *symbols* — not store blocks — deliberately: a packed store then
+/// fetches `bits/8` of the bytes a raw store fetches for the same window, so
+/// the §6.1 packing ratios carry over from construction scans to query
+/// serving.
+pub const DEFAULT_WINDOW_SYMBOLS: usize = 4 << 10;
+
+/// A [`TextSource`] over any [`StringStore`], serving tree traversals from
+/// one reused window buffer.
+///
+/// Requests are window-aligned: a miss fetches the aligned span covering the
+/// requested symbols through [`StringStore::read_at`] into the same buffer
+/// (grown once, then reused), a hit costs no I/O at all. Tree walks revisit
+/// nearby labels constantly — consecutive edges of a path, patterns routed to
+/// the same sub-tree — so the window absorbs most fetches, and everything
+/// that *does* reach the store is classified and counted by its
+/// [`IoStats`](crate::IoStats) like any construction read.
+///
+/// The source borrows the store immutably and keeps its state in a
+/// [`RefCell`], so a shared store can serve many sources at once (one per
+/// worker thread of a batched query run); the source itself is not `Sync`.
+pub struct StoreTextSource<'a> {
+    store: &'a dyn StringStore,
+    window_symbols: usize,
+    window: RefCell<Window>,
+}
+
+#[derive(Default)]
+struct Window {
+    /// Text positions `[start, start + buf.len())`, in one reused allocation.
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl Window {
+    /// Makes the buffer cover `[lo, hi)`, fetching the `window`-aligned span
+    /// through the store on a miss.
+    fn ensure(
+        &mut self,
+        store: &dyn StringStore,
+        window: usize,
+        lo: usize,
+        hi: usize,
+    ) -> StoreResult<()> {
+        debug_assert!(lo < hi && hi <= store.len());
+        if lo >= self.start && hi <= self.start + self.buf.len() {
+            return Ok(());
+        }
+        let aligned_lo = lo / window * window;
+        let aligned_hi = hi.div_ceil(window).saturating_mul(window).min(store.len());
+        self.buf.clear();
+        self.buf.resize(aligned_hi - aligned_lo, 0);
+        let got = store.read_at(aligned_lo, &mut self.buf)?;
+        self.buf.truncate(got);
+        self.start = aligned_lo;
+        if hi > aligned_lo + got {
+            return Err(StoreError::OutOfBounds { pos: lo, len: hi - lo, text_len: store.len() });
+        }
+        Ok(())
+    }
+}
+
+impl<'a> StoreTextSource<'a> {
+    /// Creates a source over `store` with the default window size.
+    pub fn new(store: &'a dyn StringStore) -> Self {
+        Self::with_window(store, DEFAULT_WINDOW_SYMBOLS)
+    }
+
+    /// Creates a source with an explicit window size in symbols (min 1).
+    pub fn with_window(store: &'a dyn StringStore, window_symbols: usize) -> Self {
+        StoreTextSource {
+            store,
+            window_symbols: window_symbols.max(1),
+            window: RefCell::new(Window::default()),
+        }
+    }
+
+    /// The store this source reads from.
+    pub fn store(&self) -> &'a dyn StringStore {
+        self.store
+    }
+}
+
+impl TextSource for StoreTextSource<'_> {
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn symbol_at(&self, pos: usize) -> StoreResult<u8> {
+        let text_len = self.store.len();
+        if pos >= text_len {
+            return Err(StoreError::OutOfBounds { pos, len: 1, text_len });
+        }
+        let mut w = self.window.borrow_mut();
+        w.ensure(self.store, self.window_symbols, pos, pos + 1)?;
+        Ok(w.buf[pos - w.start])
+    }
+
+    fn common_prefix(&self, start: usize, end: usize, pat: &[u8]) -> StoreResult<usize> {
+        let text_len = self.store.len();
+        let end = end.min(text_len);
+        if start > end {
+            return Err(StoreError::OutOfBounds { pos: start, len: 0, text_len });
+        }
+        let need = (end - start).min(pat.len());
+        if need == 0 {
+            return Ok(0);
+        }
+        let mut w = self.window.borrow_mut();
+        w.ensure(self.store, self.window_symbols, start, start + need)?;
+        let lo = start - w.start;
+        Ok(w.buf[lo..lo + need].iter().zip(pat).take_while(|(a, b)| a == b).count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::memory::InMemoryStore;
+    use crate::packed_store::PackedMemoryStore;
+
+    fn text() -> Vec<u8> {
+        let mut t: Vec<u8> = (0..3000).map(|i| b"ACGT"[(i * 7 + i / 11) % 4]).collect();
+        t.push(0);
+        t
+    }
+
+    #[test]
+    fn slice_source_matches_direct_indexing() {
+        let t = text();
+        let s: &[u8] = &t;
+        assert_eq!(TextSource::len(s), t.len());
+        assert_eq!(s.symbol_at(0).unwrap(), t[0]);
+        assert_eq!(s.symbol_at(t.len() - 1).unwrap(), 0);
+        assert!(s.symbol_at(t.len()).is_err());
+        assert_eq!(s.common_prefix(4, 10, &t[4..10]).unwrap(), 6);
+        assert_eq!(s.common_prefix(4, 10, b"").unwrap(), 0);
+        // Clamped end.
+        assert_eq!(s.common_prefix(t.len() - 1, t.len() + 5, &[0, 1, 2]).unwrap(), 1);
+    }
+
+    #[test]
+    fn store_source_agrees_with_slice_source_on_random_hops() {
+        let t = text();
+        let body = &t[..t.len() - 1];
+        let raw = InMemoryStore::from_body(body, Alphabet::dna()).unwrap();
+        let packed = PackedMemoryStore::from_body(body, Alphabet::dna()).unwrap();
+        let raw_src = StoreTextSource::with_window(&raw, 64);
+        let packed_src = StoreTextSource::with_window(&packed, 64);
+        let slice: &[u8] = &t;
+        // Descending, ascending and repeated positions: the source must be
+        // fully random-access, unlike BlockCursor.
+        for &(start, end) in
+            &[(2900usize, 2960usize), (10, 40), (500, 520), (10, 40), (2999, 3001), (0, 3001)]
+        {
+            let pat = &t[start..end.min(t.len())];
+            let expect = slice.common_prefix(start, end, pat).unwrap();
+            assert_eq!(raw_src.common_prefix(start, end, pat).unwrap(), expect);
+            assert_eq!(packed_src.common_prefix(start, end, pat).unwrap(), expect);
+            assert_eq!(raw_src.symbol_at(start).unwrap(), t[start]);
+            assert_eq!(packed_src.symbol_at(start).unwrap(), t[start]);
+        }
+        assert!(raw_src.symbol_at(t.len()).is_err());
+    }
+
+    #[test]
+    fn window_hits_cost_no_io_and_packed_reads_fewer_bytes() {
+        let t = text();
+        let body = &t[..t.len() - 1];
+        let raw = InMemoryStore::from_body(body, Alphabet::dna()).unwrap();
+        let packed = PackedMemoryStore::from_body(body, Alphabet::dna()).unwrap();
+        let raw_src = StoreTextSource::with_window(&raw, 256);
+        let packed_src = StoreTextSource::with_window(&packed, 256);
+        for src in [&raw_src, &packed_src] {
+            // First touch faults the window in ...
+            src.common_prefix(512, 520, b"XXXX").unwrap();
+            let before = src.store().stats().snapshot().bytes_read;
+            // ... later touches inside it are free.
+            src.common_prefix(600, 640, b"YYYY").unwrap();
+            src.symbol_at(700).unwrap();
+            assert_eq!(src.store().stats().snapshot().bytes_read, before);
+        }
+        // Identical access pattern, 2-bit symbols: ~4x fewer bytes fetched.
+        let raw_bytes = raw.stats().snapshot().bytes_read;
+        let packed_bytes = packed.stats().snapshot().bytes_read;
+        assert!(
+            packed_bytes * 3 < raw_bytes,
+            "packed source read {packed_bytes} bytes vs raw {raw_bytes}"
+        );
+    }
+}

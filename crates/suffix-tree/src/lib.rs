@@ -14,7 +14,12 @@
 //! * [`naive`] — a simple `O(n²)` reference builder used as the correctness
 //!   oracle throughout the test suites.
 //! * [`query`] — substring search, counting, longest repeated substring,
-//!   longest common substring and lexicographic suffix enumeration.
+//!   longest common substring and lexicographic suffix enumeration. Matching
+//!   is generic over [`TextSource`]: the `try_*` variants resolve edge labels
+//!   through a byte slice *or* any raw/packed
+//!   [`StringStore`](era_string_store::StringStore) via
+//!   [`StoreTextSource`](era_string_store::StoreTextSource), so queries can
+//!   be served without materializing the text.
 //! * [`partitioned`] — the final ERA output: a small trie over the
 //!   variable-length S-prefixes with one sub-tree per prefix (Fig. 3).
 //! * [`validate`] — structural invariant checking used by tests and examples.
@@ -38,6 +43,11 @@ pub use assemble::assemble_from_sorted;
 pub use naive::naive_suffix_tree;
 pub use node::{Node, NodeData, NodeId, NO_NODE};
 pub use partitioned::{Partition, PartitionedSuffixTree, PrefixTrie};
+pub use query::MatchResult;
 pub use stats::TreeStats;
 pub use tree::SuffixTree;
+
+// Re-exported so query-layer callers don't need a direct `era-string-store`
+// dependency to name the text abstraction the `try_*` methods traverse.
+pub use era_string_store::{StoreTextSource, TextSource};
 pub use validate::{validate_partitioned, validate_suffix_tree, ValidationError};

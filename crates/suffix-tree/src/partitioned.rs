@@ -6,6 +6,8 @@
 //! in the order of KB"). This module provides that representation together
 //! with queries that are equivalent to querying the full tree.
 
+use era_string_store::{StoreResult, TextSource};
+
 use crate::assemble::assemble_from_sa_lcp;
 use crate::query::MatchResult;
 use crate::stats::TreeStats;
@@ -180,36 +182,74 @@ impl PartitionedSuffixTree {
         self.partitions.iter().fold(TreeStats::default(), |acc, p| acc.merge(&p.tree.stats()))
     }
 
+    /// Whether `pattern` occurs in the text behind any [`TextSource`].
+    ///
+    /// Stops at the first candidate partition that matches.
+    pub fn try_contains<T: TextSource + ?Sized>(
+        &self,
+        text: &T,
+        pattern: &[u8],
+    ) -> StoreResult<bool> {
+        if pattern.is_empty() {
+            return Ok(self.leaf_count() > 0);
+        }
+        for p in self.trie.candidates(pattern) {
+            if self.partitions[p as usize].tree.try_contains(text, pattern)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
     /// Whether `pattern` occurs in the text.
     pub fn contains(&self, text: &[u8], pattern: &[u8]) -> bool {
-        !self.find_all(text, pattern).is_empty()
+        self.try_contains(text, pattern).expect("byte-slice text sources cannot fail")
+    }
+
+    /// Number of occurrences of `pattern` behind any [`TextSource`].
+    pub fn try_count<T: TextSource + ?Sized>(
+        &self,
+        text: &T,
+        pattern: &[u8],
+    ) -> StoreResult<usize> {
+        if pattern.is_empty() {
+            return Ok(self.leaf_count());
+        }
+        let mut total = 0usize;
+        for p in self.trie.candidates(pattern) {
+            total += self.partitions[p as usize].tree.try_count(text, pattern)?;
+        }
+        Ok(total)
     }
 
     /// Number of occurrences of `pattern`.
     pub fn count(&self, text: &[u8], pattern: &[u8]) -> usize {
-        if pattern.is_empty() {
-            return self.leaf_count();
-        }
-        self.trie
-            .candidates(pattern)
-            .into_iter()
-            .map(|p| self.partitions[p as usize].tree.count(text, pattern))
-            .sum()
+        self.try_count(text, pattern).expect("byte-slice text sources cannot fail")
+    }
+
+    /// All occurrence positions of `pattern` behind any [`TextSource`], in
+    /// ascending position order.
+    pub fn try_find_all<T: TextSource + ?Sized>(
+        &self,
+        text: &T,
+        pattern: &[u8],
+    ) -> StoreResult<Vec<u32>> {
+        let mut out: Vec<u32> = if pattern.is_empty() {
+            self.partitions.iter().flat_map(|p| p.tree.lexicographic_suffixes()).collect()
+        } else {
+            let mut out = Vec::new();
+            for p in self.trie.candidates(pattern) {
+                out.extend(self.partitions[p as usize].tree.try_find_all(text, pattern)?);
+            }
+            out
+        };
+        out.sort_unstable();
+        Ok(out)
     }
 
     /// All occurrence positions of `pattern` (in ascending position order).
     pub fn find_all(&self, text: &[u8], pattern: &[u8]) -> Vec<u32> {
-        let mut out: Vec<u32> = if pattern.is_empty() {
-            self.partitions.iter().flat_map(|p| p.tree.lexicographic_suffixes()).collect()
-        } else {
-            self.trie
-                .candidates(pattern)
-                .into_iter()
-                .flat_map(|p| self.partitions[p as usize].tree.find_all(text, pattern))
-                .collect()
-        };
-        out.sort_unstable();
-        out
+        self.try_find_all(text, pattern).expect("byte-slice text sources cannot fail")
     }
 
     /// The longest substring occurring at least twice, as `(offset, length)`.
@@ -275,14 +315,25 @@ impl PartitionedSuffixTree {
         PartitionedSuffixTree::new(text_len, vec![Partition { prefix: Vec::new(), tree }])
     }
 
+    /// Match a pattern against every candidate partition of any
+    /// [`TextSource`], reporting the sub-tree node(s).
+    pub fn try_match_in_partitions<T: TextSource + ?Sized>(
+        &self,
+        text: &T,
+        pattern: &[u8],
+    ) -> StoreResult<Vec<(usize, MatchResult)>> {
+        let mut out = Vec::new();
+        for p in self.trie.candidates(pattern) {
+            let r = self.partitions[p as usize].tree.try_match_pattern(text, pattern)?;
+            out.push((p as usize, r));
+        }
+        Ok(out)
+    }
+
     /// Match a pattern and report the sub-tree node(s); mostly useful for
     /// diagnostics and tests.
     pub fn match_in_partitions(&self, text: &[u8], pattern: &[u8]) -> Vec<(usize, MatchResult)> {
-        self.trie
-            .candidates(pattern)
-            .into_iter()
-            .map(|p| (p as usize, self.partitions[p as usize].tree.match_pattern(text, pattern)))
-            .collect()
+        self.try_match_in_partitions(text, pattern).expect("byte-slice text sources cannot fail")
     }
 }
 

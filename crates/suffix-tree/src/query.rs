@@ -4,6 +4,16 @@
 //! search in `O(|P|)`, occurrence counting/enumeration, the longest repeated
 //! substring and the longest common substring of two strings (via a
 //! generalized tree over their concatenation).
+//!
+//! Pattern matching is generic over [`TextSource`]: the `try_*` methods
+//! resolve edge labels through any source — an in-memory byte slice (the
+//! zero-overhead fast path) or a
+//! [`StoreTextSource`](era_string_store::StoreTextSource) reading a raw or
+//! bit-packed [`StringStore`](era_string_store::StringStore) — so the same
+//! traversal serves queries with or without the text materialized. The
+//! `&[u8]` methods remain as thin infallible wrappers.
+
+use era_string_store::{StoreResult, TextSource};
 
 use crate::node::NodeId;
 use crate::tree::SuffixTree;
@@ -22,10 +32,15 @@ pub enum MatchResult {
 }
 
 impl SuffixTree {
-    /// Matches `pattern` from the root, comparing edge labels against `text`.
-    pub fn match_pattern(&self, text: &[u8], pattern: &[u8]) -> MatchResult {
+    /// Matches `pattern` from the root, resolving edge labels through any
+    /// [`TextSource`].
+    pub fn try_match_pattern<T: TextSource + ?Sized>(
+        &self,
+        text: &T,
+        pattern: &[u8],
+    ) -> StoreResult<MatchResult> {
         if pattern.is_empty() {
-            return MatchResult::Complete { node: self.root() };
+            return Ok(MatchResult::Complete { node: self.root() });
         }
         let mut node = self.root();
         let mut matched = 0usize;
@@ -33,53 +48,72 @@ impl SuffixTree {
             let Some(child) = self.child_starting_with(node, pattern[matched]) else {
                 // `first_char` lookups are exact, but tolerate a cache miss for
                 // single-child roots of sub-trees by falling back to a scan.
+                // The cached first_char is consulted before the text so the
+                // scan costs no I/O on store-backed sources unless the cache
+                // really is stale.
                 let mut found = None;
                 for &c in self.children(node) {
                     let ch = self.node(c);
-                    if text[ch.start as usize] == pattern[matched] {
+                    if ch.first_char == pattern[matched]
+                        || text.symbol_at(ch.start as usize)? == pattern[matched]
+                    {
                         found = Some(c);
                         break;
                     }
                 }
                 match found {
                     Some(c) => {
-                        if let Some(r) = self.match_edge(text, pattern, &mut matched, c) {
-                            return r;
+                        if let Some(r) = self.match_edge(text, pattern, &mut matched, c)? {
+                            return Ok(r);
                         }
                         node = c;
                         continue;
                     }
-                    None => return MatchResult::NoMatch,
+                    None => return Ok(MatchResult::NoMatch),
                 }
             };
-            if let Some(r) = self.match_edge(text, pattern, &mut matched, child) {
-                return r;
+            if let Some(r) = self.match_edge(text, pattern, &mut matched, child)? {
+                return Ok(r);
             }
             node = child;
         }
     }
 
+    /// Matches `pattern` from the root, comparing edge labels against `text`.
+    pub fn match_pattern(&self, text: &[u8], pattern: &[u8]) -> MatchResult {
+        self.try_match_pattern(text, pattern).expect("byte-slice text sources cannot fail")
+    }
+
     /// Matches as much of `pattern` as possible along the edge into `child`.
     /// Returns `Some(result)` when matching terminates on this edge.
-    fn match_edge(
+    fn match_edge<T: TextSource + ?Sized>(
         &self,
-        text: &[u8],
+        text: &T,
         pattern: &[u8],
         matched: &mut usize,
         child: NodeId,
-    ) -> Option<MatchResult> {
+    ) -> StoreResult<Option<MatchResult>> {
         let ch = self.node(child);
-        let label = &text[ch.start as usize..ch.end as usize];
+        let label_len = (ch.end as usize).min(text.len()) - ch.start as usize;
         let remaining = &pattern[*matched..];
-        let k = label.iter().zip(remaining.iter()).take_while(|(a, b)| a == b).count();
+        let k = text.common_prefix(ch.start as usize, ch.end as usize, remaining)?;
         *matched += k;
-        if *matched == pattern.len() {
+        Ok(if *matched == pattern.len() {
             Some(MatchResult::Complete { node: child })
-        } else if k < label.len() {
+        } else if k < label_len {
             Some(MatchResult::NoMatch)
         } else {
             None // full edge matched, pattern continues below `child`
-        }
+        })
+    }
+
+    /// Whether `pattern` occurs in the text behind any [`TextSource`].
+    pub fn try_contains<T: TextSource + ?Sized>(
+        &self,
+        text: &T,
+        pattern: &[u8],
+    ) -> StoreResult<bool> {
+        Ok(matches!(self.try_match_pattern(text, pattern)?, MatchResult::Complete { .. }))
     }
 
     /// Whether `pattern` occurs in the indexed text.
@@ -87,21 +121,49 @@ impl SuffixTree {
         matches!(self.match_pattern(text, pattern), MatchResult::Complete { .. })
     }
 
-    /// All occurrence positions of `pattern`, in lexicographic order of the
-    /// suffixes that start with it.
-    pub fn find_all(&self, text: &[u8], pattern: &[u8]) -> Vec<u32> {
-        match self.match_pattern(text, pattern) {
+    /// All occurrence positions of `pattern` behind any [`TextSource`], in
+    /// lexicographic order of the suffixes that start with it (see
+    /// [`Self::find_all`]).
+    pub fn try_find_all<T: TextSource + ?Sized>(
+        &self,
+        text: &T,
+        pattern: &[u8],
+    ) -> StoreResult<Vec<u32>> {
+        Ok(match self.try_match_pattern(text, pattern)? {
             MatchResult::Complete { node } => self.leaves_below(node),
             MatchResult::NoMatch => Vec::new(),
-        }
+        })
+    }
+
+    /// All occurrence positions of `pattern`, in **lexicographic order of the
+    /// suffixes** that start with it — *not* ascending position order. Use
+    /// [`Self::find_all_sorted`] for ascending positions.
+    pub fn find_all(&self, text: &[u8], pattern: &[u8]) -> Vec<u32> {
+        self.try_find_all(text, pattern).expect("byte-slice text sources cannot fail")
+    }
+
+    /// All occurrence positions of `pattern`, sorted ascending.
+    pub fn find_all_sorted(&self, text: &[u8], pattern: &[u8]) -> Vec<u32> {
+        let mut out = self.find_all(text, pattern);
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of occurrences of `pattern` behind any [`TextSource`].
+    pub fn try_count<T: TextSource + ?Sized>(
+        &self,
+        text: &T,
+        pattern: &[u8],
+    ) -> StoreResult<usize> {
+        Ok(match self.try_match_pattern(text, pattern)? {
+            MatchResult::Complete { node } => self.leaves_below(node).len(),
+            MatchResult::NoMatch => 0,
+        })
     }
 
     /// Number of occurrences of `pattern`.
     pub fn count(&self, text: &[u8], pattern: &[u8]) -> usize {
-        match self.match_pattern(text, pattern) {
-            MatchResult::Complete { node } => self.leaves_below(node).len(),
-            MatchResult::NoMatch => 0,
-        }
+        self.try_count(text, pattern).expect("byte-slice text sources cannot fail")
     }
 
     /// The longest substring that occurs at least twice, returned as
@@ -188,6 +250,7 @@ impl SuffixTree {
 mod tests {
     use super::*;
     use crate::naive::naive_suffix_tree;
+    use era_string_store::{InMemoryStore, StoreTextSource};
 
     fn tree_for(body: &[u8]) -> (Vec<u8>, SuffixTree) {
         let mut text = body.to_vec();
@@ -210,6 +273,7 @@ mod tests {
             assert_eq!(got, expected, "pattern {:?}", std::str::from_utf8(pattern));
             assert_eq!(t.count(&text, pattern), expected.len());
             assert_eq!(t.contains(&text, pattern), !expected.is_empty());
+            assert_eq!(t.find_all_sorted(&text, pattern), expected);
         }
     }
 
@@ -227,6 +291,31 @@ mod tests {
         let (text, t) = tree_for(b"abcab");
         assert_eq!(t.count(&text, b""), text.len());
         assert!(t.contains(&text, b""));
+    }
+
+    #[test]
+    fn store_backed_source_answers_like_the_slice() {
+        let (text, t) = tree_for(b"mississippi");
+        let store = InMemoryStore::new(
+            text.clone(),
+            era_string_store::Alphabet::infer(&text[..text.len() - 1]).unwrap(),
+        )
+        .unwrap()
+        .with_block_size(4)
+        .unwrap();
+        let source = StoreTextSource::with_window(&store, 4);
+        for pattern in
+            [&b"ss"[..], b"issi", b"i", b"mississippi", b"p", b"sip", b"", b"zzz", b"mississippix"]
+        {
+            assert_eq!(
+                t.try_find_all(&source, pattern).unwrap(),
+                t.find_all(&text, pattern),
+                "pattern {:?}",
+                std::str::from_utf8(pattern)
+            );
+            assert_eq!(t.try_count(&source, pattern).unwrap(), t.count(&text, pattern));
+            assert_eq!(t.try_contains(&source, pattern).unwrap(), t.contains(&text, pattern));
+        }
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   sequences).
 //! * `parallel_build` — shared-memory and shared-nothing parallel
 //!   construction with speed-up reporting.
+//! * `batched_queries` — store-backed query serving: a mixed
+//!   contains/count/locate batch answered through the `QueryEngine` from a
+//!   raw and a packed on-disk store, without materializing the text.
 
 use era::ConstructionReport;
 

@@ -1,0 +1,230 @@
+//! The store-backed `QueryEngine` must be observationally identical to the
+//! in-memory `&[u8]` query path.
+//!
+//! Property tests pin byte-identical `contains`/`count`/`locate` answers
+//! between the materialized-text path and engines over `InMemoryStore`,
+//! `DiskStore`, `PackedMemoryStore` and `PackedDiskStore`, across
+//! DNA/protein/English workloads and the awkward pattern shapes (empty,
+//! terminal-adjacent, longer than the text, absent). A separate test asserts
+//! the read-amplification acceptance criterion: a ≥64-pattern batch served
+//! from a `PackedDiskStore` answers byte-identically to the in-memory
+//! single-pattern API while fetching strictly fewer bytes than the raw-store
+//! equivalent.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use era::{Query, QueryAnswer, QueryBatch, QueryEngine, SuffixIndex};
+use era_string_store::{
+    Alphabet, DiskStore, InMemoryStore, PackedDiskStore, PackedMemoryStore, StringStore,
+};
+use era_workloads::{generate, DatasetKind, DatasetSpec};
+use proptest::collection;
+use proptest::prelude::*;
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("era-query-equiv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Unique file tag per materialized store, so proptest cases never collide.
+fn next_tag() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+fn alphabets() -> Vec<Alphabet> {
+    vec![Alphabet::dna(), Alphabet::protein(), Alphabet::english()]
+}
+
+fn body_from(raw: &[u8], alphabet: &Alphabet) -> Vec<u8> {
+    let symbols = alphabet.symbols();
+    raw.iter().map(|&b| symbols[b as usize % symbols.len()]).collect()
+}
+
+/// The pattern shapes the issue calls out: empty, terminal-adjacent (suffixes
+/// of the text, including one that crosses into the terminal symbol), longer
+/// than the text, absent, plus ordinary substrings spread over the body.
+fn patterns_for(text: &[u8]) -> Vec<Vec<u8>> {
+    let body_len = text.len() - 1;
+    let mut patterns: Vec<Vec<u8>> = vec![
+        Vec::new(),
+        vec![0u8],                                           // the terminal alone
+        text[body_len.saturating_sub(2)..].to_vec(),         // suffix including the terminal
+        text[body_len.saturating_sub(3)..body_len].to_vec(), // suffix of the body
+        {
+            let mut longer = text.to_vec();
+            longer.extend_from_slice(b"XYZXYZ"); // longer than the text
+            longer
+        },
+        b"\x02\x03\x04".to_vec(), // symbols outside every alphabet
+    ];
+    for i in 0..12usize {
+        let len = 1 + (i * 5) % 9;
+        let start = (i * 2654435761) % body_len.max(1);
+        patterns.push(text[start..(start + len).min(body_len)].to_vec());
+    }
+    patterns
+}
+
+/// Materializes the four store backends over one body.
+fn backends(body: &[u8], alphabet: &Alphabet) -> Vec<(&'static str, Box<dyn StringStore>)> {
+    let dir = temp_dir();
+    let tag = next_tag();
+    let raw_disk =
+        DiskStore::create(dir.join(format!("q-{tag}.era")), body, alphabet.clone(), 64).unwrap();
+    let packed_disk =
+        PackedDiskStore::create(dir.join(format!("q-{tag}.erap")), body, alphabet.clone(), 64)
+            .unwrap();
+    vec![
+        (
+            "in-memory",
+            Box::new(
+                InMemoryStore::from_body(body, alphabet.clone())
+                    .unwrap()
+                    .with_block_size(64)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "packed-memory",
+            Box::new(
+                PackedMemoryStore::from_body(body, alphabet.clone())
+                    .unwrap()
+                    .with_block_size(64)
+                    .unwrap(),
+            ),
+        ),
+        ("disk", Box::new(raw_disk)),
+        ("packed-disk", Box::new(packed_disk)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, max_shrink_iters: 0 })]
+
+    #[test]
+    fn engine_over_every_backend_matches_the_in_memory_path(
+        which in 0usize..3,
+        raw_bytes in collection::vec(any::<u8>(), 1..300),
+    ) {
+        let alphabet = alphabets()[which].clone();
+        let body = body_from(&raw_bytes, &alphabet);
+        let index = SuffixIndex::builder()
+            .memory_budget(1 << 20)
+            .build_from_bytes_with_alphabet(&body, alphabet.clone())
+            .expect("construction succeeds");
+        let patterns = patterns_for(index.text());
+
+        // The reference: the in-memory `&[u8]` single-query path.
+        let expected: Vec<(Vec<usize>, usize, bool)> = patterns
+            .iter()
+            .map(|p| (index.find_all(p), index.count(p), index.contains(p)))
+            .collect();
+
+        for (name, store) in backends(&body, &alphabet) {
+            let engine = QueryEngine::over_store(index.tree(), store.as_ref());
+            for (p, (find, count, contains)) in patterns.iter().zip(&expected) {
+                let got = engine.find_all(p).unwrap();
+                prop_assert!(&got == find, "find_all over {} diverged for {:?}: {:?}", name, p, got);
+                prop_assert!(engine.count(p).unwrap() == *count, "count over {}", name);
+                prop_assert!(engine.contains(p).unwrap() == *contains, "contains over {}", name);
+            }
+            // The whole set again, as one batch (exercises routing + merge).
+            let batch: QueryBatch = patterns.iter().map(|p| Query::locate(p.clone())).collect();
+            let response = engine.run(&batch).expect("batch succeeds");
+            for ((answer, (find, _, _)), p) in
+                response.results.iter().zip(&expected).zip(&patterns)
+            {
+                prop_assert!(
+                    answer == &QueryAnswer::Locate(find.clone()),
+                    "batched locate over {} diverged for {:?}: {:?}",
+                    name,
+                    p,
+                    answer
+                );
+            }
+        }
+    }
+}
+
+/// Acceptance criterion of the query redesign: a batch of ≥64 patterns
+/// through the `QueryEngine` against a `PackedDiskStore` answers
+/// byte-identically to the in-memory single-pattern API, while the packed
+/// store's counters show strictly fewer bytes read than the raw-store
+/// equivalent.
+#[test]
+fn packed_batch_matches_in_memory_api_with_fewer_bytes_read() {
+    let body = generate(&DatasetSpec::new(DatasetKind::UniformDna, 64 << 10, 7));
+    let index = SuffixIndex::builder()
+        .memory_budget(1 << 20)
+        .build_from_bytes_with_alphabet(&body, Alphabet::dna())
+        .expect("construction succeeds");
+
+    // ≥64 patterns: sampled substrings plus the awkward shapes.
+    let mut patterns = patterns_for(index.text());
+    for i in 0..80usize {
+        let len = 3 + (i * 11) % 21;
+        let start = (i * 40503) % (body.len() - len);
+        patterns.push(body[start..start + len].to_vec());
+    }
+    assert!(patterns.len() >= 64);
+    let batch: QueryBatch = patterns.iter().map(|p| Query::locate(p.clone())).collect();
+
+    let dir = temp_dir();
+    let raw = DiskStore::create(dir.join("accept.era"), &body, Alphabet::dna(), 4 << 10).unwrap();
+    let packed =
+        PackedDiskStore::create(dir.join("accept.erap"), &body, Alphabet::dna(), 4 << 10).unwrap();
+
+    let raw_response = QueryEngine::over_store(index.tree(), &raw).run(&batch).expect("raw batch");
+    let packed_response =
+        QueryEngine::over_store(index.tree(), &packed).run(&batch).expect("packed batch");
+
+    // Byte-identical to the in-memory single-pattern API.
+    for ((p, raw_answer), packed_answer) in
+        patterns.iter().zip(&raw_response.results).zip(&packed_response.results)
+    {
+        let expected = QueryAnswer::Locate(index.find_all(p));
+        assert_eq!(packed_answer, &expected, "packed diverged for {p:?}");
+        assert_eq!(raw_answer, &expected, "raw diverged for {p:?}");
+    }
+
+    // Strictly fewer bytes read from the packed store for the same batch.
+    let raw_bytes = raw_response.stats.io.bytes_read;
+    let packed_bytes = packed_response.stats.io.bytes_read;
+    assert!(raw_bytes > 0 && packed_bytes > 0, "both batches must be served from their stores");
+    assert!(
+        packed_bytes < raw_bytes,
+        "packed batch read {packed_bytes} bytes, raw read {raw_bytes}"
+    );
+    // 2-bit DNA: expect close to the 4x packing ratio, leave slack for
+    // window-alignment effects.
+    assert!(
+        packed_bytes * 3 < raw_bytes,
+        "packed batch should read ~4x fewer bytes ({packed_bytes} vs {raw_bytes})"
+    );
+}
+
+/// The batched engine and the multithreaded batched engine agree with the
+/// serial one on a store backend.
+#[test]
+fn parallel_store_batches_are_deterministic() {
+    let body = generate(&DatasetSpec::new(DatasetKind::Protein, 16 << 10, 11));
+    let index = SuffixIndex::builder()
+        .memory_budget(1 << 20)
+        .build_from_bytes_with_alphabet(&body, Alphabet::protein())
+        .expect("construction succeeds");
+    let mut patterns = patterns_for(index.text());
+    for i in 0..64usize {
+        let len = 2 + i % 13;
+        let start = (i * 7919) % (body.len() - len);
+        patterns.push(body[start..start + len].to_vec());
+    }
+    let batch: QueryBatch = patterns.iter().map(|p| Query::locate(p.clone())).collect();
+    let packed = PackedMemoryStore::from_body(&body, Alphabet::protein()).unwrap();
+    let serial = QueryEngine::over_store(index.tree(), &packed).run(&batch).unwrap();
+    let parallel = QueryEngine::over_store(index.tree(), &packed).threads(4).run(&batch).unwrap();
+    assert_eq!(serial.results, parallel.results);
+    assert_eq!(serial.results.len(), batch.len());
+}
