@@ -90,6 +90,14 @@ pub struct EraConfig {
     /// fetched by every sequential scan by the packing ratio — up to 4x on
     /// DNA — at the cost of decoding each block on the fly.
     pub packed: bool,
+    /// Capacity, in decoded bytes, of the serving path's shared
+    /// decoded-block cache (`0` disables caching). Store-backed engines of a
+    /// [`crate::SuffixIndex`] consult this LRU before every store read, so
+    /// repeated and overlapping patterns — across workers and across
+    /// batches — are answered with zero store I/O, and packed blocks are
+    /// decoded once instead of once per toucher. Purely a serving knob;
+    /// construction scans never use it.
+    pub cache_bytes: usize,
 }
 
 impl Default for EraConfig {
@@ -108,6 +116,7 @@ impl Default for EraConfig {
             scheduler: SchedulerKind::Auto,
             min_range: 4,
             packed: false,
+            cache_bytes: 16 << 20, // 16 MiB of decoded blocks
         }
     }
 }

@@ -13,7 +13,8 @@ use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
 use era_string_store::{
-    Alphabet, DiskStore, InMemoryStore, PackedDiskStore, PackedMemoryStore, StringStore, TERMINAL,
+    Alphabet, BlockCache, DiskStore, InMemoryStore, PackedDiskStore, PackedMemoryStore,
+    StringStore, TERMINAL,
 };
 use era_suffix_tree::PartitionedSuffixTree;
 
@@ -73,6 +74,14 @@ pub struct SuffixIndex {
     /// Whether the index was built over (and persists through) the bit-packed
     /// §6.1 encoding.
     packed: bool,
+    /// Capacity of the serving path's decoded-block cache in bytes
+    /// ([`EraConfig::cache_bytes`]; 0 disables it).
+    cache_bytes: usize,
+    /// The shared decoded-block cache of store-backed serving (`None` for
+    /// in-memory backings and when disabled), created eagerly with the index
+    /// and shared by every engine — and so every batch and worker — of this
+    /// index; clones of the index share the same cache.
+    block_cache: Option<Arc<BlockCache>>,
 }
 
 impl SuffixIndex {
@@ -128,11 +137,43 @@ impl SuffixIndex {
 
     /// A [`QueryEngine`] over this index: the in-memory text fast path when
     /// the text is materialized, the I/O-accounted store path otherwise.
+    ///
+    /// Store-backed engines automatically share the index's decoded-block
+    /// cache (see [`Self::block_cache`]), so even engines created per
+    /// request serve repeated patterns warm. Tune or disable it with
+    /// [`Self::with_cache_bytes`] / [`SuffixIndexBuilder::cache_bytes`].
     pub fn engine(&self) -> QueryEngine<'_> {
         match &self.backing {
             TextBacking::Memory(t) => QueryEngine::over_text(&self.tree, t),
-            TextBacking::Store { store, .. } => QueryEngine::over_store(&self.tree, store.as_ref()),
+            TextBacking::Store { store, .. } => {
+                let engine = QueryEngine::over_store(&self.tree, store.as_ref());
+                match self.block_cache() {
+                    Some(cache) => engine.with_cache(Arc::clone(cache)),
+                    None => engine,
+                }
+            }
         }
+    }
+
+    /// The shared decoded-block cache serving this index's store-backed
+    /// queries: `None` for in-memory indexes (no store reads to save) and
+    /// when caching is disabled (`cache_bytes` of 0).
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.block_cache.as_ref()
+    }
+
+    /// Replaces the serving cache capacity (`0` disables caching). Any
+    /// previously created cache is dropped; the next [`Self::engine`] starts
+    /// cold with the new bound.
+    pub fn with_cache_bytes(mut self, cache_bytes: usize) -> Self {
+        self.cache_bytes = cache_bytes;
+        self.block_cache = match &self.backing {
+            TextBacking::Store { .. } if cache_bytes > 0 => {
+                Some(Arc::new(BlockCache::new(cache_bytes)))
+            }
+            _ => None,
+        };
+        self
     }
 
     /// Answers a batch of typed queries in one engine pass (single-threaded;
@@ -248,7 +289,10 @@ impl SuffixIndex {
                 tree,
                 report: ConstructionReport::default(),
                 separators: Vec::new(),
-            });
+                cache_bytes: 0,
+                block_cache: None,
+            }
+            .with_cache_bytes(EraConfig::default().cache_bytes));
         }
         let text = std::fs::read(dir.join(TEXT_FILE))?;
         let alphabet = load_alphabet(dir, &text)?;
@@ -259,7 +303,10 @@ impl SuffixIndex {
             separators: Vec::new(),
             alphabet,
             packed: false,
-        })
+            cache_bytes: 0,
+            block_cache: None,
+        }
+        .with_cache_bytes(EraConfig::default().cache_bytes))
     }
 
     /// Opens a saved index *without materializing the text*: the tree loads
@@ -295,7 +342,10 @@ impl SuffixIndex {
             separators: Vec::new(),
             alphabet,
             packed,
-        })
+            cache_bytes: 0,
+            block_cache: None,
+        }
+        .with_cache_bytes(EraConfig::default().cache_bytes))
     }
 }
 
@@ -403,6 +453,14 @@ impl SuffixIndexBuilder {
     /// detected and used directly regardless of this flag.
     pub fn packed(mut self, enabled: bool) -> Self {
         self.config.packed = enabled;
+        self
+    }
+
+    /// Sets the capacity of the serving path's shared decoded-block cache in
+    /// bytes (0 disables it). Only store-backed engines consult the cache;
+    /// see [`EraConfig::cache_bytes`].
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.config.cache_bytes = bytes;
         self
     }
 
@@ -538,7 +596,10 @@ impl SuffixIndexBuilder {
             separators,
             alphabet: store.alphabet().clone(),
             packed: store.is_packed(),
-        })
+            cache_bytes: 0,
+            block_cache: None,
+        }
+        .with_cache_bytes(self.config.cache_bytes))
     }
 }
 
@@ -672,6 +733,42 @@ mod tests {
     }
 
     #[test]
+    fn mmapless_engines_share_the_index_block_cache() {
+        let dir = std::env::temp_dir().join(format!("era-index-cache-{}", std::process::id()));
+        let body = b"GATTACAGATTACAGGATCCGATTACAGATTACA";
+        let built = SuffixIndex::builder().packed(true).build_from_bytes(body).unwrap();
+        assert!(built.block_cache().is_none(), "in-memory indexes serve without a cache");
+        built.save_to_dir(&dir).unwrap();
+        let served = SuffixIndex::open_mmapless(&dir).unwrap();
+
+        let batch =
+            QueryBatch::new().push(Query::locate(&b"GATTACA"[..])).push(Query::count(&b"AT"[..]));
+        // Two *separate* engine() calls share the index-owned cache: the
+        // second batch replays warm with zero store I/O.
+        let cold = served.query_batch(&batch).unwrap();
+        let warm = served.query_batch(&batch).unwrap();
+        assert_eq!(cold.results, warm.results);
+        assert!(cold.stats.io.bytes_read > 0);
+        assert_eq!(warm.stats.io.bytes_read, 0, "second batch must be cache-served");
+        assert!(warm.stats.cache.hits > 0);
+        let cache = served.block_cache().expect("store-backed index owns a cache");
+        assert!(cache.bytes() > 0);
+        // Clones share the same cache object (not a lazily re-created one),
+        // so per-worker clones of one index stay warm together.
+        let clone = served.clone();
+        assert!(Arc::ptr_eq(clone.block_cache().unwrap(), cache));
+
+        // Disabling the cache turns the same index back into pure store I/O.
+        let uncached = served.clone().with_cache_bytes(0);
+        assert!(uncached.block_cache().is_none());
+        let replay = uncached.query_batch(&batch).unwrap();
+        assert_eq!(replay.results, cold.results);
+        assert!(replay.stats.io.bytes_read > 0);
+        assert_eq!(replay.stats.cache, era_string_store::CacheSnapshot::default());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn open_mmapless_infers_alphabet_without_sidecar() {
         // Directories saved before the sidecar existed only hold text.era;
         // the streaming inference must recover a usable alphabet.
@@ -695,8 +792,10 @@ mod tests {
             .horizontal_method(HorizontalMethod::StringOnly)
             .group_virtual_trees(false)
             .seek_optimization(false)
-            .packed(true);
+            .packed(true)
+            .cache_bytes(5 << 20);
         let cfg = builder.peek_config();
+        assert_eq!(cfg.cache_bytes, 5 << 20);
         assert_eq!(cfg.memory_budget, 123);
         assert_eq!(cfg.r_buffer_size, Some(77));
         assert_eq!(cfg.threads, 3);

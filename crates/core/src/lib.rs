@@ -70,9 +70,23 @@
 //! [`SuffixIndex::query_batch`] are the entry points;
 //! [`SuffixIndex::open_mmapless`] serves a saved index straight from its
 //! `DiskStore`/`PackedDiskStore` without ever materializing the text, with
-//! the I/O of every batch reported in [`QueryStats`]. The classic
+//! the I/O of every batch reported in [`QueryStats`] — attributed per
+//! worker, so concurrent engines on one shared store never see each other's
+//! traffic. The classic
 //! [`SuffixIndex::contains`]/[`SuffixIndex::count`]/[`SuffixIndex::find_all`]
 //! remain as thin single-query wrappers.
+//!
+//! Store-backed serving is accelerated by a shared **decoded-block cache**
+//! (`era_string_store::BlockCache`, a sharded capacity-bounded LRU): every
+//! worker consults it before reading the store, and it outlives individual
+//! batches, so repeated and overlapping patterns are answered with zero
+//! store I/O — and packed blocks are decoded once, not once per toucher.
+//! A [`SuffixIndex`] owns one automatically for store-backed serving, sized
+//! by [`EraConfig::cache_bytes`] / [`SuffixIndexBuilder::cache_bytes`]
+//! (tune or disable per index with [`SuffixIndex::with_cache_bytes`]);
+//! standalone engines opt in with [`QueryEngine::cache`] or share one via
+//! `QueryEngine::with_cache`. Per-batch hit/miss/eviction/decoded-byte
+//! counters ride in [`QueryStats`] next to the I/O snapshot.
 //!
 //! ## Crate layout
 //!
@@ -124,4 +138,5 @@ pub use vertical::{vertical_partition, PrefixFrequency, VerticalPartitioning, Vi
 
 // Re-export the building blocks users commonly need alongside the index.
 pub use era_string_store as string_store;
+pub use era_string_store::{BlockCache, CacheSnapshot};
 pub use era_suffix_tree as suffix_tree;

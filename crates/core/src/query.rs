@@ -20,13 +20,26 @@
 //! dynamic queue). Each worker reuses one window buffer across every pattern
 //! it serves, which is where the batched path beats issuing the same queries
 //! one by one. The [`QueryResponse`] carries per-query results plus a
-//! [`QueryStats`] snapshot (wall-clock, partition visits, and the store's I/O
-//! delta).
+//! [`QueryStats`] snapshot (wall-clock, partition visits, I/O and cache
+//! activity, all attributed per worker and summed — two engines sharing one
+//! store never see each other's traffic).
+//!
+//! Store-backed engines can attach a shared [`BlockCache`] of decoded blocks
+//! ([`QueryEngine::cache`]/[`QueryEngine::with_cache`]): the cache outlives
+//! individual batches and is consulted by every worker's window before the
+//! store, so repeated or overlapping patterns — across workers *and* across
+//! successive batches — are served with zero store I/O, and packed blocks
+//! are decoded once instead of once per toucher. [`crate::SuffixIndex`]
+//! attaches one automatically for store-backed indexes (sized by
+//! [`crate::EraConfig::cache_bytes`]).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use era_string_store::{IoSnapshot, StoreResult, StoreTextSource, StringStore, TextSource};
+use era_string_store::{
+    BlockCache, CacheSnapshot, IoSnapshot, StoreResult, StoreTextSource, StringStore, TextSource,
+};
 use era_suffix_tree::{MatchResult, PartitionedSuffixTree};
 
 use crate::error::{EraError, EraResult};
@@ -188,18 +201,34 @@ pub struct QueryStats {
     pub partition_visits: usize,
     /// I/O the batch caused on the backing store (all-zero for the in-memory
     /// text fast path, which performs no accounted I/O).
+    ///
+    /// Attributed per worker through each worker's own
+    /// [`StoreTextSource`] counters and summed — *not* a global store-stats
+    /// delta — so two engines running concurrently on one shared store each
+    /// report exactly the I/O their own batch caused.
     pub io: IoSnapshot,
+    /// Decoded-block cache activity of the batch (all-zero when no cache is
+    /// attached): hits served with zero store I/O, misses that read and — on
+    /// packed stores — decoded a block, evictions and decoded bytes. Summed
+    /// per worker like [`Self::io`].
+    pub cache: CacheSnapshot,
 }
 
 impl QueryStats {
-    /// Queries answered per second (0 when the batch was empty or instant).
+    /// Queries answered per second.
+    ///
+    /// An empty batch reports `0.0`. A non-empty batch whose wall-clock time
+    /// is below the timer's resolution (`elapsed` of zero) is measured
+    /// against a 1 ns floor instead: the result is then a well-defined,
+    /// finite upper bound (`queries × 10⁹`) rather than a `0.0` that is
+    /// indistinguishable from "no throughput" (or an infinity that poisons
+    /// downstream arithmetic).
     pub fn queries_per_second(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs == 0.0 {
-            0.0
-        } else {
-            self.queries as f64 / secs
+        if self.queries == 0 {
+            return 0.0;
         }
+        let secs = self.elapsed.as_secs_f64().max(1e-9);
+        self.queries as f64 / secs
     }
 }
 
@@ -232,6 +261,17 @@ enum Backing<'a> {
 enum WorkerSource<'a> {
     Text(&'a [u8]),
     Store(StoreTextSource<'a>),
+}
+
+impl WorkerSource<'_> {
+    /// The I/O and cache activity this worker's source caused (zero for the
+    /// in-memory text path).
+    fn counters(&self) -> (IoSnapshot, CacheSnapshot) {
+        match self {
+            WorkerSource::Text(_) => (IoSnapshot::default(), CacheSnapshot::default()),
+            WorkerSource::Store(s) => (s.io(), s.cache_activity()),
+        }
+    }
 }
 
 impl TextSource for WorkerSource<'_> {
@@ -270,19 +310,20 @@ pub struct QueryEngine<'a> {
     tree: &'a PartitionedSuffixTree,
     backing: Backing<'a>,
     threads: usize,
+    cache: Option<Arc<BlockCache>>,
 }
 
 impl<'a> QueryEngine<'a> {
     /// An engine answering from the materialized text (no I/O, infallible
     /// label resolution).
     pub fn over_text(tree: &'a PartitionedSuffixTree, text: &'a [u8]) -> Self {
-        QueryEngine { tree, backing: Backing::Text(text), threads: 1 }
+        QueryEngine { tree, backing: Backing::Text(text), threads: 1, cache: None }
     }
 
     /// An engine answering from a store — raw or packed, in memory or on
     /// disk — without materializing the text.
     pub fn over_store(tree: &'a PartitionedSuffixTree, store: &'a dyn StringStore) -> Self {
-        QueryEngine { tree, backing: Backing::Store(store), threads: 1 }
+        QueryEngine { tree, backing: Backing::Store(store), threads: 1, cache: None }
     }
 
     /// Sets the worker-pool width for batch execution (min 1). Workers split
@@ -291,6 +332,36 @@ impl<'a> QueryEngine<'a> {
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Attaches a fresh decoded-block cache bounded by `capacity_bytes`
+    /// (0 detaches). The cache lives as long as the engine, shared by every
+    /// worker of every batch the engine runs, so re-running identical or
+    /// overlapping patterns serves them from decoded blocks with zero store
+    /// I/O. Only store backings consult it; the in-memory text path needs no
+    /// cache and ignores it.
+    pub fn cache(mut self, capacity_bytes: usize) -> Self {
+        self.cache = if capacity_bytes == 0 {
+            None
+        } else {
+            Some(Arc::new(BlockCache::new(capacity_bytes)))
+        };
+        self
+    }
+
+    /// Attaches an existing shared cache — e.g. one owned by a
+    /// [`crate::SuffixIndex`], or shared between engines over the same
+    /// store's text.
+    pub fn with_cache(mut self, cache: Arc<BlockCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached decoded-block cache, if any (handle it to another engine
+    /// over the same text via [`Self::with_cache`], or read its global
+    /// counters).
+    pub fn cache_handle(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.as_ref()
     }
 
     /// Answers one containment query.
@@ -320,10 +391,6 @@ impl<'a> QueryEngine<'a> {
     /// partials, and snapshots timing and I/O.
     pub fn run(&self, batch: &QueryBatch) -> EraResult<QueryResponse> {
         let start = Instant::now();
-        let io_before = match self.backing {
-            Backing::Store(store) => Some(store.stats().snapshot()),
-            Backing::Text(_) => None,
-        };
 
         // --- Route: first symbol(s) → candidate partitions, grouped so each
         // partition is visited once with every query that needs it. ---
@@ -354,14 +421,20 @@ impl<'a> QueryEngine<'a> {
 
         // --- Execute: partitions in parallel, one reused text window per
         // worker, reserved-first + dynamic queue like the shared-memory
-        // scheduler. ---
+        // scheduler. Each worker hands back its partials together with its
+        // own source's I/O and cache counters — attribution is per worker,
+        // never a global store-stats delta, so concurrent engines on one
+        // shared store cannot contaminate each other's numbers. ---
+        type WorkerOut = (Vec<(u32, Partial)>, IoSnapshot, CacheSnapshot);
         let threads = self.threads.min(work.len()).max(1);
-        let partials: Vec<Vec<(u32, Partial)>> = if threads == 1 {
+        let worker_outs: Vec<WorkerOut> = if threads == 1 {
             let source = self.worker_source();
-            vec![run_work_items(self.tree, &source, batch, &work, 0, work.len())?]
+            let partials = run_work_items(self.tree, &source, batch, &work, 0, work.len())?;
+            let (io, cache) = source.counters();
+            vec![(partials, io, cache)]
         } else {
             let next = AtomicUsize::new(threads);
-            let results: Vec<EraResult<Vec<(u32, Partial)>>> = std::thread::scope(|scope| {
+            let results: Vec<EraResult<WorkerOut>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|worker| {
                         let next = &next;
@@ -381,7 +454,8 @@ impl<'a> QueryEngine<'a> {
                                 )?);
                                 idx = next.fetch_add(1, Ordering::Relaxed);
                             }
-                            Ok(out)
+                            let (io, cache) = source.counters();
+                            Ok((out, io, cache))
                         })
                     })
                     .collect();
@@ -392,6 +466,16 @@ impl<'a> QueryEngine<'a> {
             });
             results.into_iter().collect::<EraResult<Vec<_>>>()?
         };
+        let mut io = IoSnapshot::default();
+        let mut cache_activity = CacheSnapshot::default();
+        let partials: Vec<Vec<(u32, Partial)>> = worker_outs
+            .into_iter()
+            .map(|(partials, worker_io, worker_cache)| {
+                io = io.merged(&worker_io);
+                cache_activity = cache_activity.merged(&worker_cache);
+                partials
+            })
+            .collect();
 
         // --- Merge the per-partition partials back into per-query answers,
         // in submission order. ---
@@ -430,10 +514,6 @@ impl<'a> QueryEngine<'a> {
             }
         }
 
-        let io = match (io_before, &self.backing) {
-            (Some(before), Backing::Store(store)) => store.stats().snapshot().since(&before),
-            _ => IoSnapshot::default(),
-        };
         Ok(QueryResponse {
             results,
             stats: QueryStats {
@@ -441,6 +521,7 @@ impl<'a> QueryEngine<'a> {
                 queries: batch.len(),
                 partition_visits: visits,
                 io,
+                cache: cache_activity,
             },
         })
     }
@@ -448,7 +529,13 @@ impl<'a> QueryEngine<'a> {
     fn worker_source(&self) -> WorkerSource<'a> {
         match self.backing {
             Backing::Text(text) => WorkerSource::Text(text),
-            Backing::Store(store) => WorkerSource::Store(StoreTextSource::new(store)),
+            Backing::Store(store) => {
+                let source = StoreTextSource::new(store);
+                WorkerSource::Store(match &self.cache {
+                    Some(cache) => source.cached(Arc::clone(cache)),
+                    None => source,
+                })
+            }
         }
     }
 }
@@ -475,7 +562,9 @@ fn run_work_items(
                     Partial::Contains(matches!(m, MatchResult::Complete { .. }))
                 }
                 (Query::Count { .. }, MatchResult::Complete { node }) => {
-                    Partial::Count(subtree.leaves_below(node).len())
+                    // Allocation-free: counting must not materialize every
+                    // occurrence position just to measure the vector.
+                    Partial::Count(subtree.leaf_count_below(node))
                 }
                 (Query::Count { .. }, MatchResult::NoMatch) => Partial::Count(0),
                 (Query::Locate { .. }, MatchResult::Complete { node }) => {
@@ -574,6 +663,91 @@ mod tests {
             ..QueryStats::default()
         };
         assert!((stats.queries_per_second() - 200.0).abs() < 1e-9);
+        // An empty batch has no throughput to report.
         assert_eq!(QueryStats::default().queries_per_second(), 0.0);
+        // A non-empty batch under timer resolution is floored at 1 ns, not
+        // collapsed to a "no throughput" 0.0 (and never an infinity).
+        let instant = QueryStats { queries: 100, ..QueryStats::default() };
+        let qps = instant.queries_per_second();
+        assert!(qps.is_finite());
+        assert!((qps - 100.0e9).abs() < 1e3, "1 ns floor: got {qps}");
+    }
+
+    #[test]
+    fn warm_cache_replays_batches_without_store_io() {
+        let index = index();
+        let packed = PackedMemoryStore::from_body(BODY, Alphabet::dna()).unwrap();
+        let batch: QueryBatch = [&b"TG"[..], b"TGC", b"GGTGATG", b"AAA", b"C"]
+            .iter()
+            .map(|p| Query::locate(*p))
+            .collect();
+        let uncached = QueryEngine::over_store(index.tree(), &packed).run(&batch).unwrap();
+        let engine = QueryEngine::over_store(index.tree(), &packed).cache(1 << 20);
+        let cold = engine.run(&batch).unwrap();
+        let warm = engine.run(&batch).unwrap();
+        assert_eq!(cold.results, uncached.results);
+        assert_eq!(warm.results, uncached.results);
+        assert!(cold.stats.io.bytes_read > 0, "the cold pass fills the cache from the store");
+        assert!(cold.stats.cache.misses > 0 && cold.stats.cache.insertions > 0);
+        assert_eq!(warm.stats.io.bytes_read, 0, "the warm pass is served from decoded blocks");
+        assert_eq!(warm.stats.cache.misses, 0);
+        assert!(warm.stats.cache.hits > 0);
+        // The engine's cache handle shows the lifetime totals.
+        let global = engine.cache_handle().expect("cache attached").snapshot();
+        assert_eq!(global.hits, cold.stats.cache.hits + warm.stats.cache.hits);
+        // Single-query wrappers share the same cache.
+        let before_single = packed.stats().snapshot();
+        assert_eq!(engine.count(b"TG").unwrap(), 7);
+        assert_eq!(
+            packed.stats().snapshot().bytes_read,
+            before_single.bytes_read,
+            "a warm single query touches no store bytes"
+        );
+    }
+
+    #[test]
+    fn concurrent_engines_attribute_io_disjointly() {
+        // Two engines over ONE shared store, running their batches at the
+        // same time: each response's I/O must equal what the same batch
+        // causes when run alone. The old global-delta accounting counted the
+        // other engine's traffic into whichever snapshot was open.
+        let body: Vec<u8> = (0..40_000).map(|i| b"ACGT"[(i * 31 + i / 9) % 4]).collect();
+        let index = SuffixIndex::builder().memory_budget(1 << 20).build_from_bytes(&body).unwrap();
+        let store = InMemoryStore::from_body(&body, Alphabet::dna()).unwrap();
+        let batch_a: QueryBatch = (0..60usize)
+            .map(|i| Query::locate(&body[(i * 601) % (body.len() - 12)..][..12]))
+            .collect();
+        let batch_b: QueryBatch = (0..60usize)
+            .map(|i| Query::count(&body[(i * 977) % (body.len() - 9)..][..9]))
+            .collect();
+
+        let solo_a = QueryEngine::over_store(index.tree(), &store).run(&batch_a).unwrap();
+        let solo_b = QueryEngine::over_store(index.tree(), &store).run(&batch_b).unwrap();
+        assert!(solo_a.stats.io.bytes_read > 0 && solo_b.stats.io.bytes_read > 0);
+
+        // One worker per engine keeps each engine's partition order — and so
+        // its window reuse and byte counts — identical to its solo run; the
+        // *engines* still interleave freely on the shared store.
+        let engine_a = QueryEngine::over_store(index.tree(), &store);
+        let engine_b = QueryEngine::over_store(index.tree(), &store);
+        let (concurrent_a, concurrent_b) = std::thread::scope(|scope| {
+            let a = scope.spawn(|| engine_a.run(&batch_a).unwrap());
+            let b = scope.spawn(|| engine_b.run(&batch_b).unwrap());
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        assert_eq!(concurrent_a.results, solo_a.results);
+        assert_eq!(concurrent_b.results, solo_b.results);
+        assert_eq!(
+            concurrent_a.stats.io.bytes_read, solo_a.stats.io.bytes_read,
+            "engine A must report only its own bytes"
+        );
+        assert_eq!(concurrent_b.stats.io.bytes_read, solo_b.stats.io.bytes_read);
+        assert_eq!(concurrent_a.stats.io.blocks_read, solo_a.stats.io.blocks_read);
+        assert_eq!(concurrent_b.stats.io.blocks_read, solo_b.stats.io.blocks_read);
+        // Both batches really did share the store.
+        assert!(
+            store.stats().snapshot().bytes_read
+                >= solo_a.stats.io.bytes_read * 2 + solo_b.stats.io.bytes_read * 2
+        );
     }
 }

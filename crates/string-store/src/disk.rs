@@ -4,7 +4,7 @@ use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::Mutex;
 
 use crate::alphabet::Alphabet;
@@ -152,18 +152,10 @@ impl StringStore for DiskStore {
             file.seek(SeekFrom::Start(pos as u64))?;
             file.read_exact(&mut buf[..take])?;
         }
-        let prev = self.last_end.swap((pos + take) as u64, Ordering::Relaxed);
-        if prev == pos as u64 {
-            self.stats.add_sequential_reads(1);
-        } else {
-            self.stats.add_random_seeks(1);
-        }
-        self.stats.add_bytes_read(take as u64);
-        self.stats.add_blocks_read(crate::stats::blocks_spanned(
-            pos,
-            pos + take - 1,
-            self.block_size,
-        ));
+        self.stats.record_access(&self.last_end, pos, take);
+        let (bytes, blocks) = self.read_cost(pos, take);
+        self.stats.add_bytes_read(bytes);
+        self.stats.add_blocks_read(blocks);
         Ok(take)
     }
 }

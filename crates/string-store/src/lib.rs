@@ -36,7 +36,14 @@
 //!   of [`BlockCursor`] for query serving: the two operations a suffix-tree
 //!   walk needs (symbol at a position, common prefix of an edge label and a
 //!   pattern), served from a byte slice or from any store — raw or packed —
-//!   through one reused window buffer, with every fetch I/O-accounted.
+//!   through one reused window buffer, with every fetch I/O-accounted both
+//!   on the store's global counters and on the source's own (per-worker)
+//!   counters.
+//! * [`BlockCache`] — a sharded, capacity-bounded LRU of *decoded* text
+//!   blocks, shared via `Arc` across the sources/workers of a serving path
+//!   so repeated and overlapping patterns are answered with zero store I/O
+//!   (and, for packed stores, zero re-decoding); activity is counted in
+//!   [`CacheSnapshot`]s.
 //! * [`IoStats`] / [`IoSnapshot`] — thread-safe I/O counters.
 //! * [`packed`] — the word-level 2-bit / 5-bit symbol codec underneath the
 //!   packed stores.
@@ -45,6 +52,7 @@
 #![warn(clippy::all)]
 
 pub mod alphabet;
+pub mod block_cache;
 pub mod cursor;
 pub mod disk;
 pub mod error;
@@ -57,6 +65,7 @@ pub mod store;
 pub mod text_source;
 
 pub use alphabet::{Alphabet, AlphabetKind, TERMINAL};
+pub use block_cache::{BlockCache, CacheSnapshot, CacheStats, DEFAULT_CACHE_BLOCK_SYMBOLS};
 pub use cursor::BlockCursor;
 pub use disk::DiskStore;
 pub use error::{StoreError, StoreResult};

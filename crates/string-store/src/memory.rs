@@ -1,6 +1,6 @@
 //! In-memory string store.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 
 use crate::alphabet::Alphabet;
 use crate::error::{StoreError, StoreResult};
@@ -91,20 +91,10 @@ impl StringStore for InMemoryStore {
         let take = buf.len().min(self.text.len() - pos);
         buf[..take].copy_from_slice(&self.text[pos..pos + take]);
 
-        let prev = self.last_end.swap((pos + take) as u64, Ordering::Relaxed);
-        if prev == pos as u64 {
-            self.stats.add_sequential_reads(1);
-        } else {
-            self.stats.add_random_seeks(1);
-        }
-        self.stats.add_bytes_read(take as u64);
-        if take > 0 {
-            self.stats.add_blocks_read(crate::stats::blocks_spanned(
-                pos,
-                pos + take - 1,
-                self.block_size,
-            ));
-        }
+        self.stats.record_access(&self.last_end, pos, take);
+        let (bytes, blocks) = self.read_cost(pos, take);
+        self.stats.add_bytes_read(bytes);
+        self.stats.add_blocks_read(blocks);
         Ok(take)
     }
 }

@@ -117,6 +117,23 @@ fn packed_span(start: usize, count: usize, bits: u32) -> Option<(usize, usize)> 
     Some(((first_bit / 8) as usize, (last_bit / 8) as usize))
 }
 
+/// The shared [`StringStore::read_cost`] rule of both packed backends: the
+/// packed byte span covering the in-body symbols of the read (the terminal is
+/// out-of-band and costs nothing), plus the physical blocks it touches.
+fn packed_read_cost(
+    pos: usize,
+    take: usize,
+    text_len: usize,
+    bits: u32,
+    block_bytes: usize,
+) -> (u64, u64) {
+    let body_count = (pos + take).min(text_len.saturating_sub(1)).saturating_sub(pos);
+    match packed_span(pos, body_count, bits) {
+        Some((lo, hi)) => ((hi - lo + 1) as u64, blocks_spanned(lo, hi, block_bytes)),
+        None => (0, 0),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // In-memory packed store
 // ---------------------------------------------------------------------------
@@ -214,18 +231,21 @@ impl StringStore for PackedMemoryStore {
         let take = buf.len().min(len - pos);
         self.packed.unpack_range(pos, take, buf);
 
-        let prev = self.last_end.swap((pos + take) as u64, Ordering::Relaxed);
-        if prev == pos as u64 {
-            self.stats.add_sequential_reads(1);
-        } else {
-            self.stats.add_random_seeks(1);
-        }
-        let body_count = (pos + take).min(len - 1).saturating_sub(pos);
-        if let Some((lo, hi)) = packed_span(pos, body_count, self.packed.bits_per_symbol()) {
-            self.stats.add_bytes_read((hi - lo + 1) as u64);
-            self.stats.add_blocks_read(blocks_spanned(lo, hi, self.block_bytes));
-        }
+        self.stats.record_access(&self.last_end, pos, take);
+        let (bytes, blocks) = self.read_cost(pos, take);
+        self.stats.add_bytes_read(bytes);
+        self.stats.add_blocks_read(blocks);
         Ok(take)
+    }
+
+    fn read_cost(&self, pos: usize, take: usize) -> (u64, u64) {
+        packed_read_cost(
+            pos,
+            take,
+            self.packed.len(),
+            self.packed.bits_per_symbol(),
+            self.block_bytes,
+        )
     }
 }
 
@@ -591,17 +611,15 @@ impl StringStore for PackedDiskStore {
         if take > body_count {
             buf[take - 1] = TERMINAL;
         }
-        let prev = self.last_end.swap((pos + take) as u64, Ordering::Relaxed);
-        if prev == pos as u64 {
-            self.stats.add_sequential_reads(1);
-        } else {
-            self.stats.add_random_seeks(1);
-        }
-        if let Some((lo, hi)) = span {
-            self.stats.add_bytes_read((hi - lo + 1) as u64);
-            self.stats.add_blocks_read(blocks_spanned(lo, hi, self.block_bytes));
-        }
+        self.stats.record_access(&self.last_end, pos, take);
+        let (bytes, blocks) = self.read_cost(pos, take);
+        self.stats.add_bytes_read(bytes);
+        self.stats.add_blocks_read(blocks);
         Ok(take)
+    }
+
+    fn read_cost(&self, pos: usize, take: usize) -> (u64, u64) {
+        packed_read_cost(pos, take, self.len, self.codec.bits(), self.block_bytes)
     }
 }
 

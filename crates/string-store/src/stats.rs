@@ -75,6 +75,25 @@ impl IoStats {
         self.full_scans.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Classifies one read at `pos` returning `take` symbols against the
+    /// reader's `last_end` cursor and records it: sequential iff it starts
+    /// exactly where the previous read ended (a fresh cursor starts at 0, so
+    /// the first read at offset 0 counts as sequential), a random seek
+    /// otherwise.
+    ///
+    /// This is the one classification rule every store's `read_at` — and
+    /// every per-consumer mirror such as
+    /// [`StoreTextSource`](crate::StoreTextSource) — applies, kept here so it
+    /// cannot drift between them.
+    pub fn record_access(&self, last_end: &AtomicU64, pos: usize, take: usize) {
+        let prev = last_end.swap((pos + take) as u64, Ordering::Relaxed);
+        if prev == pos as u64 {
+            self.add_sequential_reads(1);
+        } else {
+            self.add_random_seeks(1);
+        }
+    }
+
     /// Takes a point-in-time copy of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {

@@ -64,6 +64,23 @@ pub trait StringStore: Send + Sync {
     /// random seek.
     fn read_at(&self, pos: usize, buf: &mut [u8]) -> StoreResult<usize>;
 
+    /// The `(bytes, physical blocks)` the store's [`IoStats`] attribute to
+    /// one [`Self::read_at`] call at `pos` that returned `take` symbols.
+    ///
+    /// This is the accounting rule itself, exposed so callers that attribute
+    /// I/O *per consumer* (e.g. [`StoreTextSource`](crate::StoreTextSource),
+    /// one per query worker) can record locally exactly what the shared
+    /// store's global counters record — concurrent readers of one store then
+    /// each report only the I/O they caused. Raw stores charge one byte per
+    /// symbol over the aligned block span; packed stores override this with
+    /// the packed byte span (`bits/8` of the symbols, terminal out-of-band).
+    fn read_cost(&self, pos: usize, take: usize) -> (u64, u64) {
+        if take == 0 {
+            return (0, 0);
+        }
+        (take as u64, crate::stats::blocks_spanned(pos, pos + take - 1, self.block_size()))
+    }
+
     /// Reads exactly `len` bytes at `pos` into a fresh vector, clamping at the
     /// end of the string (the returned vector may be shorter than `len`).
     fn read_range(&self, pos: usize, len: usize) -> StoreResult<Vec<u8>> {
@@ -119,6 +136,9 @@ impl<T: StringStore + ?Sized> StringStore for &T {
     fn read_at(&self, pos: usize, buf: &mut [u8]) -> StoreResult<usize> {
         (**self).read_at(pos, buf)
     }
+    fn read_cost(&self, pos: usize, take: usize) -> (u64, u64) {
+        (**self).read_cost(pos, take)
+    }
 }
 
 impl<T: StringStore + ?Sized> StringStore for std::sync::Arc<T> {
@@ -142,6 +162,9 @@ impl<T: StringStore + ?Sized> StringStore for std::sync::Arc<T> {
     }
     fn read_at(&self, pos: usize, buf: &mut [u8]) -> StoreResult<usize> {
         (**self).read_at(pos, buf)
+    }
+    fn read_cost(&self, pos: usize, take: usize) -> (u64, u64) {
+        (**self).read_cost(pos, take)
     }
 }
 

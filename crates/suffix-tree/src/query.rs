@@ -44,38 +44,52 @@ impl SuffixTree {
         }
         let mut node = self.root();
         let mut matched = 0usize;
-        loop {
-            let Some(child) = self.child_starting_with(node, pattern[matched]) else {
-                // `first_char` lookups are exact, but tolerate a cache miss for
-                // single-child roots of sub-trees by falling back to a scan.
-                // The cached first_char is consulted before the text so the
-                // scan costs no I/O on store-backed sources unless the cache
-                // really is stale.
-                let mut found = None;
-                for &c in self.children(node) {
-                    let ch = self.node(c);
-                    if ch.first_char == pattern[matched]
-                        || text.symbol_at(ch.start as usize)? == pattern[matched]
-                    {
-                        found = Some(c);
-                        break;
+        'walk: loop {
+            // Fast path: the sorted `first_char` cache pinpoints the child
+            // without touching the text. The cache is only a read-avoidance
+            // device, though — the text stays authoritative: a candidate
+            // whose edge text turns out not to start with the pattern symbol
+            // (zero symbols matched on its edge) means the cache lied, and
+            // the walk falls through to the sibling scan below instead of
+            // reporting a false `NoMatch`. With a healthy cache that case is
+            // impossible (first symbol equal ⇒ at least one symbol matches),
+            // so the check costs nothing.
+            let direct = self.child_starting_with(node, pattern[matched]);
+            if let Some(child) = direct {
+                let before = matched;
+                match self.match_edge(text, pattern, &mut matched, child)? {
+                    Some(MatchResult::NoMatch) if matched == before => {}
+                    Some(r) => return Ok(r),
+                    None => {
+                        node = child;
+                        continue 'walk;
                     }
                 }
-                match found {
-                    Some(c) => {
-                        if let Some(r) = self.match_edge(text, pattern, &mut matched, c)? {
-                            return Ok(r);
-                        }
-                        node = c;
-                        continue;
-                    }
-                    None => return Ok(MatchResult::NoMatch),
-                }
-            };
-            if let Some(r) = self.match_edge(text, pattern, &mut matched, child)? {
-                return Ok(r);
             }
-            node = child;
+            // Fallback: the cache had no (trustworthy) answer — e.g. the
+            // unset `first_char` of a sub-tree root, or a stale entry. Only
+            // the edge text decides which child to follow here; the cached
+            // `first_char` is not consulted at all, so a stale entry can
+            // never divert the walk past the right sibling.
+            let mut found = None;
+            for &c in self.children(node) {
+                if direct == Some(c) {
+                    continue; // its edge text already ruled it out above
+                }
+                if text.symbol_at(self.node(c).start as usize)? == pattern[matched] {
+                    found = Some(c);
+                    break;
+                }
+            }
+            match found {
+                Some(c) => {
+                    if let Some(r) = self.match_edge(text, pattern, &mut matched, c)? {
+                        return Ok(r);
+                    }
+                    node = c;
+                }
+                None => return Ok(MatchResult::NoMatch),
+            }
         }
     }
 
@@ -156,7 +170,7 @@ impl SuffixTree {
         pattern: &[u8],
     ) -> StoreResult<usize> {
         Ok(match self.try_match_pattern(text, pattern)? {
-            MatchResult::Complete { node } => self.leaves_below(node).len(),
+            MatchResult::Complete { node } => self.leaf_count_below(node),
             MatchResult::NoMatch => 0,
         })
     }
@@ -315,6 +329,104 @@ mod tests {
             );
             assert_eq!(t.try_count(&source, pattern).unwrap(), t.count(&text, pattern));
             assert_eq!(t.try_contains(&source, pattern).unwrap(), t.contains(&text, pattern));
+        }
+    }
+
+    /// The child of `node` whose outgoing edge *text* starts with `c` (the
+    /// oracle the `first_char` cache approximates).
+    fn child_by_text(
+        t: &SuffixTree,
+        text: &[u8],
+        node: crate::node::NodeId,
+        c: u8,
+    ) -> crate::node::NodeId {
+        *t.children(node)
+            .iter()
+            .find(|&&ch| text[t.node(ch).start as usize] == c)
+            .expect("child with that edge text exists")
+    }
+
+    #[test]
+    fn stale_first_char_on_the_direct_path_falls_back_to_siblings() {
+        // Corrupt the 'm' child of the root to *claim* 'i': the sorted
+        // binary search for 'i' then lands on the impostor, whose edge text
+        // is 'm...'. The text is authoritative, so the walk must recover and
+        // follow the true 'i' child instead of reporting a false NoMatch.
+        let (text, mut t) = tree_for(b"mississippi");
+        let expected: Vec<_> = [b"issi".as_slice(), b"i", b"ississippi"]
+            .iter()
+            .map(|p| t.find_all_sorted(&text, p))
+            .collect();
+        let m_child = child_by_text(&t, &text, t.root(), b'm');
+        t.node_mut(m_child).first_char = b'i';
+        for (pattern, expect) in [b"issi".as_slice(), b"i", b"ississippi"].iter().zip(expected) {
+            assert_eq!(
+                t.find_all_sorted(&text, pattern),
+                expect,
+                "stale cache diverted pattern {:?}",
+                std::str::from_utf8(pattern)
+            );
+        }
+        // Patterns through the intact children still answer normally, and the
+        // corrupted child itself is still reachable through the text.
+        assert_eq!(t.count(&text, b"ss"), 2);
+        assert!(t.contains(&text, b"mississippi"));
+    }
+
+    #[test]
+    fn stale_first_char_in_the_fallback_scan_does_not_mask_siblings() {
+        // The shape the bug needs: the binary search for 's' fails (the true
+        // 's' child claims 'z'), and an *earlier* sibling stales to 's' while
+        // its edge text is 'i...'. The old scan trusted the cached byte, broke
+        // on the impostor and never tried the real 's' child → false NoMatch.
+        let (text, mut t) = tree_for(b"mississippi");
+        let expected: Vec<_> =
+            [b"ssi".as_slice(), b"s", b"sip"].iter().map(|p| t.find_all_sorted(&text, p)).collect();
+        let s_child = child_by_text(&t, &text, t.root(), b's');
+        let i_child = child_by_text(&t, &text, t.root(), b'i');
+        t.node_mut(s_child).first_char = b'z';
+        t.node_mut(i_child).first_char = b's';
+        for (pattern, expect) in [b"ssi".as_slice(), b"s", b"sip"].iter().zip(expected) {
+            assert_eq!(
+                t.find_all_sorted(&text, pattern),
+                expect,
+                "fallback scan missed the true child for {:?}",
+                std::str::from_utf8(pattern)
+            );
+        }
+        // Absent patterns still come back NoMatch (the scan must terminate).
+        assert!(!t.contains(&text, b"sz"));
+        assert_eq!(t.count(&text, b"zz"), 0);
+
+        // The same corrupted tree over a store-backed source: the recovery
+        // path may legitimately read the text, and must stay correct when
+        // those reads are real fetches.
+        let store = InMemoryStore::new(
+            text.clone(),
+            era_string_store::Alphabet::infer(&text[..text.len() - 1]).unwrap(),
+        )
+        .unwrap()
+        .with_block_size(4)
+        .unwrap();
+        let source = StoreTextSource::with_window(&store, 4);
+        assert_eq!(t.try_find_all(&source, b"ssi").unwrap(), t.find_all(&text, b"ssi"));
+        assert_eq!(t.try_count(&source, b"s").unwrap(), t.count(&text, b"s"));
+    }
+
+    #[test]
+    fn leaf_count_below_matches_leaves_below_len() {
+        let (text, t) = tree_for(b"mississippi");
+        for id in t.node_ids() {
+            assert_eq!(t.leaf_count_below(id), t.leaves_below(id).len(), "node {id}");
+        }
+        // And through the public counting query (which now uses it).
+        for pattern in [&b""[..], b"i", b"ss", b"issi", b"zzz", b"mississippi"] {
+            assert_eq!(
+                t.count(&text, pattern),
+                t.find_all(&text, pattern).len(),
+                "pattern {:?}",
+                std::str::from_utf8(pattern)
+            );
         }
     }
 

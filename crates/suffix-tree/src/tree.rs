@@ -234,6 +234,26 @@ impl SuffixTree {
         }
     }
 
+    /// Number of leaves at or below `id` (inclusive), without materializing
+    /// their suffix offsets.
+    ///
+    /// Counting queries only need this total; [`Self::leaves_below`] would
+    /// allocate one `u32` per occurrence just to `.len()` it, which for a
+    /// frequent pattern is a large, pointless allocation on the query hot
+    /// path. The traversal is iterative (a small node stack bounded by the
+    /// tree's branching, no recursion, no position vector).
+    pub fn leaf_count_below(&self, id: NodeId) -> usize {
+        let mut count = 0usize;
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            match &self.node(cur).data {
+                NodeData::Leaf { .. } => count += 1,
+                NodeData::Internal { children } => stack.extend_from_slice(children),
+            }
+        }
+        count
+    }
+
     /// All suffix offsets in lexicographic order (a suffix array of the
     /// indexed suffixes). For a complete suffix tree this is the suffix array
     /// of the text.

@@ -13,10 +13,12 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use era::{Query, QueryAnswer, QueryBatch, QueryEngine, SuffixIndex};
 use era_string_store::{
-    Alphabet, DiskStore, InMemoryStore, PackedDiskStore, PackedMemoryStore, StringStore,
+    Alphabet, BlockCache, DiskStore, InMemoryStore, PackedDiskStore, PackedMemoryStore,
+    StoreTextSource, StringStore, TextSource,
 };
 use era_workloads::{generate, DatasetKind, DatasetSpec};
 use proptest::collection;
@@ -149,6 +151,69 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, max_shrink_iters: 0 })]
+
+    /// Window and cache boundaries must be invisible: patterns *longer than
+    /// the window*, hops that straddle cache-block and cache-shard
+    /// boundaries, and tiny capacities that force evictions all answer
+    /// byte-identically with the cache on and off, across all four store
+    /// backends.
+    #[test]
+    fn cache_and_window_boundaries_are_invisible(
+        which in 0usize..3,
+        raw_bytes in collection::vec(any::<u8>(), 8..300),
+        window in 1usize..40,
+        block_symbols in 1usize..40,
+        capacity in 16usize..600,
+    ) {
+        let alphabet = alphabets()[which].clone();
+        let body = body_from(&raw_bytes, &alphabet);
+        let index = SuffixIndex::builder()
+            .memory_budget(1 << 20)
+            .build_from_bytes_with_alphabet(&body, alphabet.clone())
+            .expect("construction succeeds");
+        let text = index.text().to_vec();
+
+        // Longer than the window by construction (the window is < 40): the
+        // whole text, every suffix hop, plus the usual awkward shapes.
+        let mut patterns = patterns_for(&text);
+        patterns.push(text.clone());
+        for i in 0..6usize {
+            let start = (i * 37) % (text.len() - 1);
+            patterns.push(text[start..].to_vec());
+        }
+
+        for (name, store) in backends(&body, &alphabet) {
+            // One shared cache for both sources: the second one replays the
+            // first one's blocks (the cross-worker sharing path).
+            let cache = Arc::new(BlockCache::with_layout(capacity, block_symbols, 3));
+            let plain = StoreTextSource::with_window(store.as_ref(), window);
+            let cached =
+                StoreTextSource::with_window(store.as_ref(), window).cached(Arc::clone(&cache));
+            let warm =
+                StoreTextSource::with_window(store.as_ref(), window).cached(Arc::clone(&cache));
+            for p in &patterns {
+                let expect = index.tree().try_find_all(&plain, p).expect("plain source");
+                let got = index.tree().try_find_all(&cached, p).expect("cached source");
+                prop_assert!(expect == got, "cached find_all over {} diverged for {:?}", name, p);
+                let replay = index.tree().try_find_all(&warm, p).expect("warm source");
+                prop_assert!(expect == replay, "warm find_all over {} diverged for {:?}", name, p);
+                prop_assert!(
+                    index.tree().try_count(&cached, p).expect("count") == expect.len(),
+                    "cached count over {name} diverged"
+                );
+            }
+            // Raw symbol hops across block/shard boundaries agree too.
+            for pos in (0..text.len()).step_by(7) {
+                prop_assert!(cached.symbol_at(pos).unwrap() == text[pos], "symbol at {pos} over {name}");
+            }
+            prop_assert!(cache.bytes() <= capacity + 3 * block_symbols,
+                "cache over capacity bound on {name}");
+        }
+    }
+}
+
 /// Acceptance criterion of the query redesign: a batch of ≥64 patterns
 /// through the `QueryEngine` against a `PackedDiskStore` answers
 /// byte-identically to the in-memory single-pattern API, while the packed
@@ -204,6 +269,55 @@ fn packed_batch_matches_in_memory_api_with_fewer_bytes_read() {
         packed_bytes * 3 < raw_bytes,
         "packed batch should read ~4x fewer bytes ({packed_bytes} vs {raw_bytes})"
     );
+}
+
+/// Acceptance criterion of the decoded-block cache: re-running an identical
+/// batch against a `PackedDiskStore`-backed engine with a warm cache reads
+/// ≥10x fewer store bytes than the cold run, while the answers stay
+/// byte-identical cache-on vs cache-off (run by the CI `packed-io` job).
+#[test]
+fn warm_cache_rerun_reads_10x_fewer_bytes_with_identical_answers() {
+    let body = generate(&DatasetSpec::new(DatasetKind::UniformDna, 64 << 10, 19));
+    let index = SuffixIndex::builder()
+        .memory_budget(1 << 20)
+        .build_from_bytes_with_alphabet(&body, Alphabet::dna())
+        .expect("construction succeeds");
+    let mut patterns = patterns_for(index.text());
+    for i in 0..96usize {
+        let len = 4 + (i * 13) % 24;
+        let start = (i * 52361) % (body.len() - len);
+        patterns.push(body[start..start + len].to_vec());
+    }
+    let batch: QueryBatch = patterns.iter().map(|p| Query::locate(p.clone())).collect();
+
+    let dir = temp_dir();
+    let packed =
+        PackedDiskStore::create(dir.join("warm.erap"), &body, Alphabet::dna(), 4 << 10).unwrap();
+
+    // Cache off: the reference answers, pure store I/O.
+    let uncached = QueryEngine::over_store(index.tree(), &packed).run(&batch).expect("uncached");
+
+    // One cached engine, the identical batch twice: cold fills, warm replays.
+    let engine = QueryEngine::over_store(index.tree(), &packed).cache(8 << 20);
+    let cold = engine.run(&batch).expect("cold batch");
+    let warm = engine.run(&batch).expect("warm batch");
+
+    assert_eq!(cold.results, uncached.results, "cache-on answers must match cache-off");
+    assert_eq!(warm.results, uncached.results, "warm answers must match cache-off");
+
+    let (cold_bytes, warm_bytes) = (cold.stats.io.bytes_read, warm.stats.io.bytes_read);
+    assert!(cold_bytes > 0, "the cold run must be served from the store");
+    assert!(
+        warm_bytes * 10 <= cold_bytes,
+        "warm re-run must read >=10x fewer store bytes (cold {cold_bytes}, warm {warm_bytes})"
+    );
+    assert!(warm.stats.cache.hits > 0, "warm run must be cache-served");
+    assert_eq!(warm.stats.cache.misses, 0, "8 MiB of cache holds the whole 64 KiB text");
+
+    // The same holds through the multithreaded pool: workers share the cache.
+    let parallel_warm = engine.threads(4).run(&batch).expect("parallel warm batch");
+    assert_eq!(parallel_warm.results, uncached.results);
+    assert!(parallel_warm.stats.io.bytes_read * 10 <= cold_bytes);
 }
 
 /// The batched engine and the multithreaded batched engine agree with the
