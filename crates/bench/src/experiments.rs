@@ -115,7 +115,7 @@ fn kb(bytes: usize) -> String {
 pub fn all_experiments() -> Vec<&'static str> {
     vec![
         "table2", "fig7a", "fig7b", "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b",
-        "fig11", "fig12a", "fig12b", "table3", "fig13", "packed", "query",
+        "fig11", "fig12a", "fig12b", "table3", "fig13", "packed", "query", "layout",
     ]
 }
 
@@ -138,6 +138,7 @@ pub fn run_experiment(id: &str, scale: &Scale) -> Option<ExperimentResult> {
         "fig13" => Some(fig13(scale)),
         "packed" => Some(packed_encoding(scale)),
         "query" => Some(query_serving(scale)),
+        "layout" => Some(layout_serving(scale)),
         _ => None,
     }
 }
@@ -751,6 +752,216 @@ fn query_serving(scale: &Scale) -> ExperimentResult {
                       one-by-one; the packed store cuts the bytes read by ~bits/8 again (~4x for \
                       2-bit DNA) at equal answers; and re-running the batch against the warm \
                       decoded-block cache reads ~no store bytes at a ~100% hit rate."
+            .into(),
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flat layout — cache-conscious serving form vs the Vec-node construction
+// form, and the SWAR occurrence scan vs the scalar reference.
+// ---------------------------------------------------------------------------
+
+/// Serializes every flat partition (prefix + `ERAFLAT1` arena) into one byte
+/// string; two partitioned trees are byte-identical iff these are equal.
+fn flat_tree_bytes(tree: &era_suffix_tree::PartitionedSuffixTree) -> Vec<u8> {
+    let mut out = Vec::new();
+    for part in tree.partitions() {
+        out.extend_from_slice(&(part.prefix.len() as u64).to_le_bytes());
+        out.extend_from_slice(&part.prefix);
+        era_suffix_tree::serialize::write_flat_tree(&mut out, &part.tree).expect("serialize");
+    }
+    out
+}
+
+fn layout_serving(scale: &Scale) -> ExperimentResult {
+    use era_string_store::InMemoryStore;
+    use std::time::Instant;
+
+    let size = scale.base / 2;
+    let budget = (size / 4).max(16 << 10);
+    let spec = DatasetSpec::new(DatasetKind::UniformDna, size, 47);
+    let store = make_disk_store(&spec);
+    let (tree, report) = era::construct_serial(&store, &era_config(budget)).expect("construction");
+    let text = store.read_all().expect("read text");
+    let body = &text[..text.len() - 1];
+    let partitions = tree.partitions().len();
+    let mut rows = Vec::new();
+
+    // Freeze determinism: all three schedulers must produce byte-identical
+    // flat arenas (same prefixes, same node order, same child blocks).
+    let serial_bytes = flat_tree_bytes(&tree);
+    let sm_cfg = EraConfig { threads: 4, ..era_config(budget) };
+    let (sm_tree, _) = era::construct_parallel_sm(&store, &sm_cfg).expect("sm construction");
+    let node_stores: Vec<InMemoryStore> = (0..2)
+        .map(|_| InMemoryStore::from_body(body, alphabet_for(spec.kind)).expect("node store"))
+        .collect();
+    let (sn_tree, _) = construct_shared_nothing(
+        &node_stores,
+        &era_config(budget),
+        &SharedNothingOptions::default(),
+    )
+    .expect("sn construction");
+    assert_eq!(flat_tree_bytes(&sm_tree), serial_bytes, "shared-memory arena differs from serial");
+    assert_eq!(flat_tree_bytes(&sn_tree), serial_bytes, "shared-nothing arena differs from serial");
+    rows.push(Row {
+        series: "freeze determinism".into(),
+        x: kb(size),
+        seconds: 0.0,
+        mb_read: 0.0,
+        scans: 0,
+        partitions,
+        note: "serial, shared-memory and shared-nothing arenas byte-identical".into(),
+    });
+
+    // Memory density: flat 16-byte records vs the Vec-node construction form.
+    let thawed: Vec<era_suffix_tree::SuffixTree> =
+        tree.partitions().iter().map(|p| p.tree.thaw()).collect();
+    let vec_bytes: usize = thawed.iter().map(|t| t.approx_bytes()).sum();
+    let nodes_total = report.tree.nodes.max(1);
+    let flat_bpn = report.bytes_per_node();
+    let vec_bpn = vec_bytes as f64 / nodes_total as f64;
+    for (series, bpn, note) in [
+        ("bytes/node vec-node", vec_bpn, String::new()),
+        (
+            "bytes/node flat",
+            flat_bpn,
+            format!("{:.0}% smaller than vec-node", 100.0 * (1.0 - flat_bpn / vec_bpn)),
+        ),
+    ] {
+        rows.push(Row {
+            series: format!("{series} ({bpn:.1} B)"),
+            x: kb(size),
+            seconds: 0.0,
+            mb_read: (bpn * nodes_total as f64) / (1 << 20) as f64,
+            scans: 0,
+            partitions,
+            note,
+        });
+    }
+
+    // Warm-cache descent throughput on the real serving path: route each
+    // pattern through the prefix trie, then count occurrences in the
+    // candidate sub-tree — flat arena vs the thawed Vec-node form. The trie
+    // routing is identical on both sides; only the descent differs. One
+    // untimed pass warms each form and records the expected answer.
+    let patterns = query_patterns(&text, 256);
+    let routed: Vec<(&Vec<u8>, Vec<u32>)> =
+        patterns.iter().filter(|p| !p.is_empty()).map(|p| (p, tree.trie().candidates(p))).collect();
+    let reps = ((32 << 20) / size.max(1)).clamp(4, 128);
+    let count_all_vec = || -> u64 {
+        let mut hits = 0u64;
+        for (p, candidates) in &routed {
+            for &c in candidates {
+                hits += thawed[c as usize].count(&text, p) as u64;
+            }
+        }
+        hits
+    };
+    let count_all_flat = || -> u64 {
+        let parts = tree.partitions();
+        let mut hits = 0u64;
+        for (p, candidates) in &routed {
+            for &c in candidates {
+                hits += parts[c as usize].tree.count(&text, p) as u64;
+            }
+        }
+        hits
+    };
+    let vec_hits = count_all_vec();
+    let start = Instant::now();
+    for _ in 0..reps {
+        assert_eq!(count_all_vec(), vec_hits, "unstable answers");
+    }
+    let vec_elapsed = start.elapsed();
+    let flat_hits = count_all_flat();
+    let start = Instant::now();
+    for _ in 0..reps {
+        assert_eq!(count_all_flat(), flat_hits, "unstable answers");
+    }
+    let flat_elapsed = start.elapsed();
+    assert_eq!(flat_hits, vec_hits, "flat and vec-node descents must count the same occurrences");
+    let descents = (reps * routed.len()) as f64;
+    for (series, elapsed, note) in [
+        ("descent vec-node", vec_elapsed, String::new()),
+        (
+            "descent flat",
+            flat_elapsed,
+            format!("{:.2}x vs vec-node", vec_elapsed.as_secs_f64() / flat_elapsed.as_secs_f64()),
+        ),
+    ] {
+        rows.push(Row {
+            series: series.into(),
+            x: format!("{} queries", descents as u64),
+            seconds: elapsed.as_secs_f64(),
+            mb_read: 0.0,
+            scans: 0,
+            partitions,
+            note: format!("{:.0} queries/s {note}", descents / elapsed.as_secs_f64()),
+        });
+    }
+
+    // Occurrence collection: SWAR first-byte filter vs the scalar reference,
+    // over the in-memory store so the comparison is compute-bound. Distinct
+    // short prefixes, as vertical partitioning produces them.
+    let prefixes: Vec<Vec<u8>> = {
+        let mut distinct: std::collections::BTreeSet<Vec<u8>> = std::collections::BTreeSet::new();
+        for p in patterns.iter().filter(|p| !p.is_empty()) {
+            distinct.insert(p[..p.len().min(8)].to_vec());
+            if distinct.len() >= 16 {
+                break;
+            }
+        }
+        distinct.into_iter().collect()
+    };
+    let scan_store = &node_stores[0];
+    let scan = |vectorized: bool| {
+        let collect = if vectorized {
+            era::scan::collect_occurrences
+        } else {
+            era::scan::collect_occurrences_scalar
+        };
+        let warm: usize = collect(scan_store, &prefixes).expect("scan").iter().map(Vec::len).sum();
+        let start = Instant::now();
+        for _ in 0..reps {
+            let occ: usize =
+                collect(scan_store, &prefixes).expect("scan").iter().map(Vec::len).sum();
+            assert_eq!(occ, warm, "unstable scan");
+        }
+        (warm, start.elapsed())
+    };
+    let (scalar_occ, scalar_elapsed) = scan(false);
+    let (swar_occ, swar_elapsed) = scan(true);
+    assert_eq!(swar_occ, scalar_occ, "SWAR and scalar scans must agree");
+    let scanned_mb = (reps * scan_store.len()) as f64 / (1 << 20) as f64;
+    for (series, elapsed, note) in [
+        ("scan scalar", scalar_elapsed, String::new()),
+        (
+            "scan swar",
+            swar_elapsed,
+            format!("{:.2}x vs scalar", scalar_elapsed.as_secs_f64() / swar_elapsed.as_secs_f64()),
+        ),
+    ] {
+        rows.push(Row {
+            series: series.into(),
+            x: format!("{} prefixes", prefixes.len()),
+            seconds: elapsed.as_secs_f64(),
+            mb_read: scanned_mb,
+            scans: reps as u64,
+            partitions,
+            note: format!("{:.0} MB/s {note}", scanned_mb / elapsed.as_secs_f64()),
+        });
+    }
+
+    ExperimentResult {
+        id: "layout".into(),
+        title: "Flat cache-conscious layout: descent throughput, bytes/node and SWAR scan vs \
+                the Vec-node construction form"
+            .into(),
+        expectation: "All three schedulers freeze byte-identical flat arenas. The flat form \
+                      serves warm-cache descents >=1.5x faster and needs >=30% fewer bytes per \
+                      node than the Vec-node form; the SWAR first-byte filter collects \
+                      occurrences >=2x faster than the scalar reference at identical answers."
             .into(),
         rows,
     }

@@ -88,6 +88,25 @@
 //! `QueryEngine::with_cache`. Per-batch hit/miss/eviction/decoded-byte
 //! counters ride in [`QueryStats`] next to the I/O snapshot.
 //!
+//! ## Hot-path layout: flat serving trees and the SWAR scan
+//!
+//! Construction mutates the Vec-node `SuffixTree` of `era-suffix-tree`; the
+//! moment a sub-tree is finished the pipeline *freezes* it into a
+//! `FlatTree` — one contiguous arena of 16-byte node records with each
+//! node's children packed adjacently in `first_char` order — and everything
+//! downstream ([`SuffixIndex`], [`QueryEngine`], `save_to_dir`/
+//! `load_from_dir`) serves from that form: descents binary-search adjacent
+//! cache lines instead of chasing per-node child vectors, subtree
+//! enumeration walks contiguous id ranges, and the arena costs ~1/3 of the
+//! construction form's bytes per node ([`ConstructionReport::bytes_per_node`]
+//! reports the measured figure). The freeze order is deterministic, so all
+//! three schedulers still produce byte-identical serving trees. On the scan
+//! side, [`scan::collect_occurrences`] filters candidate positions with a
+//! SWAR first-byte broadcast (eight bytes per `u64`, no `core::simd`) and
+//! verifies word-sized patterns with masked compares;
+//! [`scan::collect_occurrences_scalar`] keeps the per-position reference the
+//! vectorized path is tested and benchmarked against.
+//!
 //! ## Crate layout
 //!
 //! * [`config`] — every knob the paper evaluates (memory budget, `|R|`,
@@ -99,7 +118,8 @@
 //! * [`pipeline`] — the unified [`pipeline::ConstructionPipeline`] and the
 //!   three [`pipeline::GroupScheduler`] implementations.
 //! * [`scan`] — sequential multi-pattern occurrence scans over the
-//!   zero-copy block cursor of `era-string-store`.
+//!   zero-copy block cursor of `era-string-store`, SWAR-vectorized with a
+//!   scalar reference implementation.
 //! * [`query`] — the batched [`QueryEngine`], typed [`Query`] requests and
 //!   [`QueryStats`] I/O accounting over in-memory or store-backed texts.
 //! * [`serial`], [`parallel_sm`], [`parallel_sn`] — the public driver entry

@@ -87,6 +87,12 @@ impl ConstructionReport {
     pub fn makespan(&self) -> Duration {
         self.per_node.iter().map(|n| n.elapsed).max().unwrap_or(self.elapsed)
     }
+
+    /// Arena bytes per tree node in the serving layout (0.0 for an empty
+    /// tree) — the memory-density figure the flat layout optimizes.
+    pub fn bytes_per_node(&self) -> f64 {
+        self.tree.bytes_per_node()
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +111,16 @@ mod tests {
         assert!((report.symbols_per_second() - 2000.0).abs() < 1e-6);
         assert!((report.read_amplification() - 4.0).abs() < 1e-9);
         assert_eq!(report.makespan(), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn bytes_per_node_comes_from_tree_stats() {
+        let report = ConstructionReport {
+            tree: TreeStats { nodes: 4, arena_bytes: 64, ..Default::default() },
+            ..Default::default()
+        };
+        assert!((report.bytes_per_node() - 16.0).abs() < 1e-9);
+        assert_eq!(ConstructionReport::default().bytes_per_node(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,657 @@
+//! Flat, cache-conscious serving layout.
+//!
+//! The mutable [`SuffixTree`] is the *construction* form: every internal node
+//! owns a heap `Vec<NodeId>`, so one edge descent costs two dependent cache
+//! misses (node → child vector → child node) and a node weighs ~48 bytes plus
+//! the vector's heap block. Once `BuildSubTree` finishes, the tree never
+//! mutates again — queries only descend it — so ERA freezes each partition
+//! into a [`FlatTree`]:
+//!
+//! * one contiguous arena of 16-byte [`FlatNode`] records;
+//! * the children of every node occupy one contiguous id range, ordered by
+//!   the first character of their edge labels, so child lookup is a binary
+//!   search over *adjacent* records (one cache line holds four of them);
+//! * child blocks are laid out in depth-first order of their parents, so a
+//!   descent — and the subtree walk `Locate`/`Count` perform below the match
+//!   node — moves mostly forward through the arena instead of chasing heap
+//!   pointers;
+//! * leaf/internal is a tag bit; the leaf's suffix offset and the internal
+//!   node's `children_start` share one payload word; no parent pointers
+//!   (descents only ever walk down).
+//!
+//! The freeze is deterministic: two structurally equal [`SuffixTree`]s always
+//! freeze to byte-identical [`FlatTree`]s, so the scheduler-equivalence
+//! guarantees (serial, shared-memory and shared-nothing builds produce the
+//! same index) carry over to the serving form unchanged. [`FlatTree::thaw`]
+//! converts back for the rare consumers that need the mutable form.
+
+use era_string_store::{StoreResult, TextSource};
+
+use crate::node::{Node, NodeData, NodeId, NO_NODE};
+use crate::query::MatchResult;
+use crate::stats::TreeStats;
+use crate::tree::SuffixTree;
+
+/// Size of one flat node record in bytes.
+pub const FLAT_NODE_BYTES: usize = std::mem::size_of::<FlatNode>();
+
+const LEAF_BIT: u32 = 1 << 31;
+const CHILDREN_LEN_MASK: u32 = 0xFFFF;
+const FIRST_CHAR_SHIFT: u32 = 16;
+
+/// One 16-byte record of a [`FlatTree`] arena.
+///
+/// `start`/`end` are the incoming edge label offsets into the text (both zero
+/// for the root). The payload word holds the suffix offset for leaves and the
+/// first child id for internal nodes; the meta word packs the child count
+/// (bits 0–15), the cached first edge character (bits 16–23) and the leaf tag
+/// (bit 31).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlatNode {
+    /// Start offset (inclusive) of the incoming edge label.
+    pub start: u32,
+    /// End offset (exclusive) of the incoming edge label.
+    pub end: u32,
+    payload: u32,
+    meta: u32,
+}
+
+impl FlatNode {
+    /// Rebuilds a record from its raw serialized words (deserialization
+    /// only; [`crate::serialize::read_flat_tree`] validates the invariants).
+    pub(crate) fn from_raw(start: u32, end: u32, payload: u32, meta: u32) -> FlatNode {
+        FlatNode { start, end, payload, meta }
+    }
+
+    fn leaf(start: u32, end: u32, first_char: u8, suffix: u32) -> FlatNode {
+        FlatNode {
+            start,
+            end,
+            payload: suffix,
+            meta: LEAF_BIT | (u32::from(first_char) << FIRST_CHAR_SHIFT),
+        }
+    }
+
+    fn internal(start: u32, end: u32, first_char: u8, children_start: u32, len: u32) -> FlatNode {
+        debug_assert!(len <= CHILDREN_LEN_MASK);
+        FlatNode {
+            start,
+            end,
+            payload: children_start,
+            meta: len | (u32::from(first_char) << FIRST_CHAR_SHIFT),
+        }
+    }
+
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.meta & LEAF_BIT != 0
+    }
+
+    /// First character of the incoming edge label (0 for the root).
+    pub fn first_char(&self) -> u8 {
+        (self.meta >> FIRST_CHAR_SHIFT) as u8
+    }
+
+    /// The suffix offset if this node is a leaf.
+    pub fn suffix(&self) -> Option<u32> {
+        if self.is_leaf() {
+            Some(self.payload)
+        } else {
+            None
+        }
+    }
+
+    /// Length of the incoming edge label.
+    pub fn edge_len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// The contiguous id range of this node's children (empty for leaves).
+    pub fn children_range(&self) -> std::ops::Range<u32> {
+        if self.is_leaf() {
+            0..0
+        } else {
+            self.payload..self.payload + (self.meta & CHILDREN_LEN_MASK)
+        }
+    }
+}
+
+/// A frozen suffix (sub-)tree: one contiguous arena of [`FlatNode`] records,
+/// children packed adjacently in `first_char` order. Node 0 is the root.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlatTree {
+    text_len: u32,
+    nodes: Vec<FlatNode>,
+}
+
+/// One frozen vertical partition: the flat sub-tree indexing all suffixes
+/// that share the S-prefix `prefix`. The serving-path counterpart of the
+/// construction-form [`crate::Partition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatPartition {
+    /// The variable-length S-prefix identifying the partition.
+    pub prefix: Vec<u8>,
+    /// The frozen sub-tree over the suffixes starting with `prefix`.
+    pub tree: FlatTree,
+}
+
+impl FlatTree {
+    /// Freezes a construction-form tree into the flat layout.
+    ///
+    /// Ids are assigned by a depth-first walk that hands every node's
+    /// children one contiguous block, leftmost subtree first — siblings are
+    /// adjacent (child lookup never leaves the cache-line run) and the
+    /// blocks of a descent path sit close together in the arena. The pass is
+    /// O(nodes) and deterministic: structurally equal inputs freeze to
+    /// byte-identical arenas.
+    pub fn freeze(tree: &SuffixTree) -> FlatTree {
+        let n = tree.node_count();
+        let mut nodes = vec![FlatNode::default(); n];
+        let mut next_free = 1u32;
+        // (construction id, flat id) — flat ids are pre-assigned when the
+        // parent is popped; pushing children in reverse pops the leftmost
+        // first, which keeps its whole subtree in front of its siblings'.
+        let mut stack: Vec<(NodeId, u32)> = vec![(tree.root(), 0)];
+        while let Some((old, new)) = stack.pop() {
+            let src = tree.node(old);
+            match &src.data {
+                NodeData::Leaf { suffix } => {
+                    nodes[new as usize] =
+                        FlatNode::leaf(src.start, src.end, src.first_char, *suffix);
+                }
+                NodeData::Internal { children } => {
+                    let start = next_free;
+                    next_free += children.len() as u32;
+                    nodes[new as usize] = FlatNode::internal(
+                        src.start,
+                        src.end,
+                        src.first_char,
+                        start,
+                        children.len() as u32,
+                    );
+                    for (k, &c) in children.iter().enumerate().rev() {
+                        stack.push((c, start + k as u32));
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(next_free as usize, n);
+        FlatTree { text_len: tree.text_len() as u32, nodes }
+    }
+
+    /// Rebuilds the mutable construction form (ids preserved).
+    ///
+    /// Used by validation and by benchmarks that compare the two layouts;
+    /// the serving path never needs it.
+    pub fn thaw(&self) -> SuffixTree {
+        let mut parents = vec![NO_NODE; self.nodes.len()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            for c in node.children_range() {
+                parents[c as usize] = id as NodeId;
+            }
+        }
+        let mut tree = SuffixTree::with_capacity(self.text_len as usize, self.nodes.len());
+        for (id, node) in self.nodes.iter().enumerate() {
+            let data = match node.suffix() {
+                Some(suffix) => NodeData::Leaf { suffix },
+                None => NodeData::Internal { children: node.children_range().collect() },
+            };
+            let raw = Node {
+                start: node.start,
+                end: node.end,
+                parent: parents[id],
+                first_char: node.first_char(),
+                data,
+            };
+            if id == 0 {
+                *tree.node_mut(0) = raw;
+            } else {
+                tree.push_raw(raw);
+            }
+        }
+        tree
+    }
+
+    /// Builds a flat tree directly from raw records (deserialization only).
+    pub(crate) fn from_raw_parts(text_len: u32, nodes: Vec<FlatNode>) -> FlatTree {
+        FlatTree { text_len, nodes }
+    }
+
+    /// Raw record fields `(start, end, payload, meta)` of node `id`
+    /// (serialization only).
+    pub(crate) fn raw_node(&self, id: u32) -> (u32, u32, u32, u32) {
+        let n = &self.nodes[id as usize];
+        (n.start, n.end, n.payload, n.meta)
+    }
+
+    /// Whether every child range stays inside the arena and never claims the
+    /// root (overflow-safe; used when deserializing untrusted bytes).
+    pub(crate) fn child_ranges_in_bounds(&self) -> bool {
+        let n = self.nodes.len() as u64;
+        self.nodes.iter().all(|node| {
+            if node.is_leaf() {
+                return true;
+            }
+            let len = u64::from(node.meta & CHILDREN_LEN_MASK);
+            len == 0 || (node.payload > 0 && u64::from(node.payload) + len <= n)
+        })
+    }
+
+    /// The root node id (always 0).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Length of the indexed text (including the terminal).
+    pub fn text_len(&self) -> usize {
+        self.text_len as usize
+    }
+
+    /// Total number of nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Borrow a node record.
+    pub fn node(&self, id: NodeId) -> &FlatNode {
+        &self.nodes[id as usize]
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        0..self.nodes.len() as NodeId
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Number of internal nodes (including the root).
+    pub fn internal_count(&self) -> usize {
+        self.nodes.len() - self.leaf_count()
+    }
+
+    /// Exact in-memory size of the arena in bytes (16 bytes per node; the
+    /// flat layout has no per-node heap blocks to estimate).
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * FLAT_NODE_BYTES
+    }
+
+    /// Looks up the child of `id` whose incoming edge starts with `c`: a
+    /// binary search over the node's contiguous child run.
+    pub fn child_starting_with(&self, id: NodeId, c: u8) -> Option<NodeId> {
+        let range = self.node(id).children_range();
+        let slice = &self.nodes[range.start as usize..range.end as usize];
+        slice
+            .binary_search_by_key(&c, |child| child.first_char())
+            .ok()
+            .map(|i| range.start + i as u32)
+    }
+
+    /// Matches `pattern` from the root, resolving edge labels through any
+    /// [`TextSource`]. Semantics are identical to
+    /// [`SuffixTree::try_match_pattern`]: the packed `first_char` cache is a
+    /// read-avoidance device only, the text stays authoritative, and a stale
+    /// cache entry falls back to a sibling scan instead of reporting a false
+    /// `NoMatch`.
+    pub fn try_match_pattern<T: TextSource + ?Sized>(
+        &self,
+        text: &T,
+        pattern: &[u8],
+    ) -> StoreResult<MatchResult> {
+        if pattern.is_empty() {
+            return Ok(MatchResult::Complete { node: self.root() });
+        }
+        let mut node = self.root();
+        let mut matched = 0usize;
+        'walk: loop {
+            let direct = self.child_starting_with(node, pattern[matched]);
+            if let Some(child) = direct {
+                let before = matched;
+                match self.match_edge(text, pattern, &mut matched, child)? {
+                    Some(MatchResult::NoMatch) if matched == before => {}
+                    Some(r) => return Ok(r),
+                    None => {
+                        node = child;
+                        continue 'walk;
+                    }
+                }
+            }
+            // Fallback: only the edge text decides which child to follow.
+            let mut found = None;
+            for c in self.node(node).children_range() {
+                if direct == Some(c) {
+                    continue; // its edge text already ruled it out above
+                }
+                if text.symbol_at(self.node(c).start as usize)? == pattern[matched] {
+                    found = Some(c);
+                    break;
+                }
+            }
+            match found {
+                Some(c) => {
+                    if let Some(r) = self.match_edge(text, pattern, &mut matched, c)? {
+                        return Ok(r);
+                    }
+                    node = c;
+                }
+                None => return Ok(MatchResult::NoMatch),
+            }
+        }
+    }
+
+    /// Matches as much of `pattern` as possible along the edge into `child`.
+    fn match_edge<T: TextSource + ?Sized>(
+        &self,
+        text: &T,
+        pattern: &[u8],
+        matched: &mut usize,
+        child: NodeId,
+    ) -> StoreResult<Option<MatchResult>> {
+        let ch = self.node(child);
+        let label_len = (ch.end as usize).min(text.len()) - ch.start as usize;
+        let remaining = &pattern[*matched..];
+        let k = text.common_prefix(ch.start as usize, ch.end as usize, remaining)?;
+        *matched += k;
+        Ok(if *matched == pattern.len() {
+            Some(MatchResult::Complete { node: child })
+        } else if k < label_len {
+            Some(MatchResult::NoMatch)
+        } else {
+            None
+        })
+    }
+
+    /// Matches `pattern` from the root, comparing edge labels against `text`.
+    pub fn match_pattern(&self, text: &[u8], pattern: &[u8]) -> MatchResult {
+        self.try_match_pattern(text, pattern).expect("byte-slice text sources cannot fail")
+    }
+
+    /// Whether `pattern` occurs in the text behind any [`TextSource`].
+    pub fn try_contains<T: TextSource + ?Sized>(
+        &self,
+        text: &T,
+        pattern: &[u8],
+    ) -> StoreResult<bool> {
+        Ok(matches!(self.try_match_pattern(text, pattern)?, MatchResult::Complete { .. }))
+    }
+
+    /// Whether `pattern` occurs in the indexed text.
+    pub fn contains(&self, text: &[u8], pattern: &[u8]) -> bool {
+        matches!(self.match_pattern(text, pattern), MatchResult::Complete { .. })
+    }
+
+    /// All occurrence positions of `pattern` behind any [`TextSource`], in
+    /// lexicographic order of the suffixes that start with it.
+    pub fn try_find_all<T: TextSource + ?Sized>(
+        &self,
+        text: &T,
+        pattern: &[u8],
+    ) -> StoreResult<Vec<u32>> {
+        Ok(match self.try_match_pattern(text, pattern)? {
+            MatchResult::Complete { node } => self.leaves_below(node),
+            MatchResult::NoMatch => Vec::new(),
+        })
+    }
+
+    /// All occurrence positions of `pattern`, in lexicographic order of the
+    /// suffixes that start with it.
+    pub fn find_all(&self, text: &[u8], pattern: &[u8]) -> Vec<u32> {
+        self.try_find_all(text, pattern).expect("byte-slice text sources cannot fail")
+    }
+
+    /// All occurrence positions of `pattern`, sorted ascending.
+    pub fn find_all_sorted(&self, text: &[u8], pattern: &[u8]) -> Vec<u32> {
+        let mut out = self.find_all(text, pattern);
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of occurrences of `pattern` behind any [`TextSource`].
+    pub fn try_count<T: TextSource + ?Sized>(
+        &self,
+        text: &T,
+        pattern: &[u8],
+    ) -> StoreResult<usize> {
+        Ok(match self.try_match_pattern(text, pattern)? {
+            MatchResult::Complete { node } => self.leaf_count_below(node),
+            MatchResult::NoMatch => 0,
+        })
+    }
+
+    /// Number of occurrences of `pattern`.
+    pub fn count(&self, text: &[u8], pattern: &[u8]) -> usize {
+        self.try_count(text, pattern).expect("byte-slice text sources cannot fail")
+    }
+
+    /// All leaf suffix offsets below `id` (inclusive), in lexicographic
+    /// order (an explicit stack with children pushed in reverse, exactly
+    /// like the construction form).
+    pub fn leaves_below(&self, id: NodeId) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            let node = self.node(cur);
+            match node.suffix() {
+                Some(suffix) => out.push(suffix),
+                None => {
+                    for c in node.children_range().rev() {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of leaves at or below `id` (inclusive), allocation-free.
+    pub fn leaf_count_below(&self, id: NodeId) -> usize {
+        let mut count = 0usize;
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            let node = self.node(cur);
+            if node.is_leaf() {
+                count += 1;
+            } else {
+                stack.extend(node.children_range());
+            }
+        }
+        count
+    }
+
+    /// All suffix offsets in lexicographic order (the suffix array of the
+    /// indexed suffixes).
+    pub fn lexicographic_suffixes(&self) -> Vec<u32> {
+        self.leaves_below(self.root())
+    }
+
+    /// Depth-first traversal yielding `(node, string_depth)` pairs in
+    /// lexicographic order.
+    pub fn dfs(&self) -> Vec<(NodeId, u32)> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![(self.root(), 0u32)];
+        while let Some((cur, depth)) = stack.pop() {
+            out.push((cur, depth));
+            for c in self.node(cur).children_range().rev() {
+                stack.push((c, depth + self.node(c).edge_len()));
+            }
+        }
+        out
+    }
+
+    /// Structural statistics of the tree, including the exact arena size.
+    pub fn stats(&self) -> TreeStats {
+        let mut stats = TreeStats {
+            nodes: self.nodes.len(),
+            arena_bytes: self.approx_bytes(),
+            ..TreeStats::default()
+        };
+        for (id, depth) in self.dfs() {
+            let n = self.node(id);
+            if n.is_leaf() {
+                stats.leaves += 1;
+            } else {
+                stats.internal += 1;
+                if id != self.root() {
+                    stats.max_internal_depth = stats.max_internal_depth.max(depth);
+                }
+            }
+            stats.max_depth = stats.max_depth.max(depth);
+        }
+        stats
+    }
+
+    /// The longest substring that occurs at least twice, as
+    /// `(offset, length)` — the deepest internal node of the tree.
+    pub fn longest_repeated_substring(&self, _text: &[u8]) -> Option<(u32, u32)> {
+        let mut best: Option<(u32, u32)> = None; // (depth, node)
+        for (id, depth) in self.dfs() {
+            if !self.node(id).is_leaf()
+                && id != self.root()
+                && depth > 0
+                && best.map(|(d, _)| depth > d).unwrap_or(true)
+            {
+                best = Some((depth, id));
+            }
+        }
+        best.map(|(depth, id)| {
+            let leaf = self.leaves_below(id)[0];
+            (leaf, depth)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_suffix_tree;
+    use crate::validate::validate_suffix_tree;
+    use era_string_store::{InMemoryStore, StoreTextSource};
+
+    fn tree_for(body: &[u8]) -> (Vec<u8>, SuffixTree) {
+        let mut text = body.to_vec();
+        text.push(0);
+        let t = naive_suffix_tree(&text);
+        (text, t)
+    }
+
+    #[test]
+    fn freeze_preserves_structure_and_counts() {
+        for body in
+            [&b"banana"[..], b"mississippi", b"TGGTGGTGGTGCGGTGATGGTGC", b"aaaa", b"a", b"abcd"]
+        {
+            let (text, t) = tree_for(body);
+            let flat = FlatTree::freeze(&t);
+            assert_eq!(flat.node_count(), t.node_count());
+            assert_eq!(flat.leaf_count(), t.leaf_count());
+            assert_eq!(flat.internal_count(), t.internal_count());
+            assert_eq!(flat.text_len(), t.text_len());
+            assert_eq!(flat.lexicographic_suffixes(), t.lexicographic_suffixes());
+            let s_vec = t.stats();
+            let s_flat = flat.stats();
+            assert_eq!(s_flat.leaves, s_vec.leaves);
+            assert_eq!(s_flat.max_depth, s_vec.max_depth);
+            assert_eq!(s_flat.max_internal_depth, s_vec.max_internal_depth);
+            assert_eq!(s_flat.arena_bytes, flat.node_count() * FLAT_NODE_BYTES);
+            // The flat arena is the compact layout the issue demands.
+            assert!(flat.approx_bytes() * 10 <= t.approx_bytes() * 7, "body {body:?}");
+            // Thawing reproduces a structurally valid construction tree.
+            validate_suffix_tree(&flat.thaw(), &text, Some(text.len())).unwrap();
+        }
+    }
+
+    #[test]
+    fn children_are_contiguous_and_sorted() {
+        let (_, t) = tree_for(b"mississippi");
+        let flat = FlatTree::freeze(&t);
+        for id in flat.node_ids() {
+            let range = flat.node(id).children_range();
+            let firsts: Vec<u8> = range.clone().map(|c| flat.node(c).first_char()).collect();
+            let mut sorted = firsts.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(firsts, sorted, "children of {id} not strictly sorted");
+            for c in range {
+                assert!((c as usize) < flat.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn child_blocks_cover_every_non_root_node_once() {
+        let (_, t) = tree_for(b"abracadabra");
+        let flat = FlatTree::freeze(&t);
+        // Every non-root id is claimed by exactly one parent's child range.
+        let mut owner = vec![0usize; flat.node_count()];
+        for id in flat.node_ids() {
+            for c in flat.node(id).children_range() {
+                owner[c as usize] += 1;
+            }
+        }
+        assert_eq!(owner[0], 0, "the root has no parent");
+        assert!(owner[1..].iter().all(|&n| n == 1), "child ranges must partition the arena");
+    }
+
+    #[test]
+    fn queries_match_construction_form() {
+        let (text, t) = tree_for(b"mississippi");
+        let flat = FlatTree::freeze(&t);
+        for pattern in
+            [&b"ss"[..], b"issi", b"i", b"mississippi", b"p", b"sip", b"", b"zzz", b"ippi2"]
+        {
+            assert_eq!(flat.find_all_sorted(&text, pattern), t.find_all_sorted(&text, pattern));
+            assert_eq!(flat.count(&text, pattern), t.count(&text, pattern));
+            assert_eq!(flat.contains(&text, pattern), t.contains(&text, pattern));
+        }
+        assert_eq!(
+            flat.longest_repeated_substring(&text).map(|(_, l)| l),
+            t.longest_repeated_substring(&text).map(|(_, l)| l)
+        );
+    }
+
+    #[test]
+    fn store_backed_source_answers_like_the_slice() {
+        let (text, t) = tree_for(b"TGGTGGTGGTGCGGTGATGGTGC");
+        let flat = FlatTree::freeze(&t);
+        let store = InMemoryStore::new(
+            text.clone(),
+            era_string_store::Alphabet::infer(&text[..text.len() - 1]).unwrap(),
+        )
+        .unwrap()
+        .with_block_size(4)
+        .unwrap();
+        let source = StoreTextSource::with_window(&store, 4);
+        for pattern in [&b"TG"[..], b"TGGTG", b"GATT", b"", b"CCC"] {
+            assert_eq!(flat.try_find_all(&source, pattern).unwrap(), flat.find_all(&text, pattern));
+            assert_eq!(flat.try_count(&source, pattern).unwrap(), flat.count(&text, pattern));
+        }
+    }
+
+    #[test]
+    fn thaw_then_freeze_is_identity() {
+        let (_, t) = tree_for(b"GATTACAGATTACA");
+        let flat = FlatTree::freeze(&t);
+        let again = FlatTree::freeze(&flat.thaw());
+        assert_eq!(flat, again);
+    }
+
+    #[test]
+    fn leaf_count_below_matches_leaves_below() {
+        let (_, t) = tree_for(b"abracadabra");
+        let flat = FlatTree::freeze(&t);
+        for id in flat.node_ids() {
+            assert_eq!(flat.leaf_count_below(id), flat.leaves_below(id).len(), "node {id}");
+        }
+    }
+
+    #[test]
+    fn root_only_tree_freezes() {
+        let t = SuffixTree::new(1);
+        let flat = FlatTree::freeze(&t);
+        assert_eq!(flat.node_count(), 1);
+        assert_eq!(flat.leaf_count(), 0);
+        assert!(flat.lexicographic_suffixes().is_empty());
+        assert_eq!(flat.thaw().node_count(), 1);
+    }
+}

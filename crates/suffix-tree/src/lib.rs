@@ -5,8 +5,17 @@
 //! The crate contains everything about the *data structure* that is shared by
 //! ERA and the baseline construction algorithms:
 //!
-//! * [`SuffixTree`] — a flat arena representation (edges store `(start, end)`
-//!   offsets into the text, exactly as described in §2 of the paper).
+//! * [`SuffixTree`] — the mutable *construction* form: an arena of nodes
+//!   whose edges store `(start, end)` offsets into the text, exactly as
+//!   described in §2 of the paper; internal nodes own sorted child vectors so
+//!   `BuildSubTree` can insert and split edges cheaply.
+//! * [`FlatTree`] ([`layout`]) — the frozen *serving* form: one contiguous
+//!   arena of 16-byte records (vs ~3.5× that for the construction form),
+//!   children packed adjacently in `first_char` order behind a
+//!   `(children_start, children_len)` range, leaf/internal a tag bit. Every
+//!   finished sub-tree is frozen into this layout, so the query hot path
+//!   binary-searches adjacent cache lines instead of chasing per-node heap
+//!   vectors.
 //! * [`assemble::assemble_from_sorted`] — the stack-based batch assembly of a
 //!   tree from lexicographically sorted leaves plus branching information;
 //!   this is the paper's `BuildSubTree` and is also how B²ST turns a merged
@@ -14,22 +23,25 @@
 //! * [`naive`] — a simple `O(n²)` reference builder used as the correctness
 //!   oracle throughout the test suites.
 //! * [`query`] — substring search, counting, longest repeated substring,
-//!   longest common substring and lexicographic suffix enumeration. Matching
-//!   is generic over [`TextSource`]: the `try_*` variants resolve edge labels
-//!   through a byte slice *or* any raw/packed
+//!   longest common substring and lexicographic suffix enumeration, on both
+//!   tree forms. Matching is generic over [`TextSource`]: the `try_*`
+//!   variants resolve edge labels through a byte slice *or* any raw/packed
 //!   [`StringStore`](era_string_store::StringStore) via
 //!   [`StoreTextSource`](era_string_store::StoreTextSource), so queries can
 //!   be served without materializing the text.
-//! * [`partitioned`] — the final ERA output: a small trie over the
-//!   variable-length S-prefixes with one sub-tree per prefix (Fig. 3).
+//! * [`partitioned`] — the final ERA output: a small packed-edge trie over
+//!   the variable-length S-prefixes with one frozen sub-tree per prefix
+//!   (Fig. 3).
 //! * [`validate`] — structural invariant checking used by tests and examples.
 //! * [`serialize`] — a compact little-endian binary format for storing
-//!   sub-trees on disk.
+//!   sub-trees on disk: `ERAFLAT1` (16 bytes/node, the serving default) plus
+//!   the legacy `ERASTRE1` construction-form layout, which still loads.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod assemble;
+pub mod layout;
 pub mod naive;
 pub mod node;
 pub mod partitioned;
@@ -40,6 +52,7 @@ pub mod tree;
 pub mod validate;
 
 pub use assemble::assemble_from_sorted;
+pub use layout::{FlatNode, FlatPartition, FlatTree, FLAT_NODE_BYTES};
 pub use naive::naive_suffix_tree;
 pub use node::{Node, NodeData, NodeId, NO_NODE};
 pub use partitioned::{Partition, PartitionedSuffixTree, PrefixTrie};
@@ -50,4 +63,6 @@ pub use tree::SuffixTree;
 // Re-exported so query-layer callers don't need a direct `era-string-store`
 // dependency to name the text abstraction the `try_*` methods traverse.
 pub use era_string_store::{StoreTextSource, TextSource};
-pub use validate::{validate_partitioned, validate_suffix_tree, ValidationError};
+pub use validate::{
+    validate_flat_tree, validate_partitioned, validate_suffix_tree, ValidationError,
+};

@@ -5,16 +5,23 @@
 //! under a tiny trie (Fig. 3 of the paper: "the trie for the human genome is
 //! in the order of KB"). This module provides that representation together
 //! with queries that are equivalent to querying the full tree.
+//!
+//! Construction hands over mutable [`Partition`]s (`Vec`-node
+//! [`SuffixTree`]s); [`PartitionedSuffixTree::new`] immediately freezes each
+//! one into a [`FlatPartition`] (a cache-conscious [`FlatTree`] arena — see
+//! [`crate::layout`]), so everything downstream — the query engine, the
+//! serializer, the index — serves from the flat form.
 
 use era_string_store::{StoreResult, TextSource};
 
 use crate::assemble::assemble_from_sa_lcp;
+use crate::layout::{FlatPartition, FlatTree};
 use crate::query::MatchResult;
 use crate::stats::TreeStats;
 use crate::tree::SuffixTree;
 
-/// One vertical partition: the sub-tree indexing all suffixes that share the
-/// S-prefix `prefix`.
+/// One vertical partition in its mutable construction form: the sub-tree
+/// indexing all suffixes that share the S-prefix `prefix`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     /// The variable-length S-prefix identifying the partition.
@@ -25,15 +32,25 @@ pub struct Partition {
 
 /// A small trie over the partition prefixes, used to route queries to the
 /// relevant sub-tree(s).
+///
+/// Like the sub-trees themselves the trie is frozen for serving: every node
+/// stores a `(start, len)` range into one shared edge arena instead of its
+/// own `Vec`, so routing walks contiguous memory and the size accounting is
+/// exact.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PrefixTrie {
     nodes: Vec<TrieNode>,
+    /// `(symbol, child index)` pairs of every node, packed back to back;
+    /// each node's slice is sorted by symbol.
+    edges: Vec<(u8, u32)>,
 }
 
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct TrieNode {
-    /// `(symbol, child index)` pairs sorted by symbol.
-    children: Vec<(u8, u32)>,
+    /// Start of this node's slice in the shared `edges` arena.
+    edges_start: u32,
+    /// Number of outgoing edges.
+    edges_len: u32,
     /// Partition index if a prefix ends exactly at this node.
     partition: Option<u32>,
 }
@@ -41,24 +58,41 @@ struct TrieNode {
 impl PrefixTrie {
     /// Builds a trie from the partition prefixes (in partition order).
     pub fn build(prefixes: &[Vec<u8>]) -> Self {
-        let mut trie = PrefixTrie { nodes: vec![TrieNode::default()] };
+        // Grow with per-node vectors, then freeze into the packed arena.
+        let mut children: Vec<Vec<(u8, u32)>> = vec![Vec::new()];
+        let mut partition: Vec<Option<u32>> = vec![None];
         for (idx, prefix) in prefixes.iter().enumerate() {
-            let mut cur = 0u32;
+            let mut cur = 0usize;
             for &c in prefix {
-                cur = match trie.nodes[cur as usize].children.binary_search_by_key(&c, |&(s, _)| s)
-                {
-                    Ok(i) => trie.nodes[cur as usize].children[i].1,
+                cur = match children[cur].binary_search_by_key(&c, |&(s, _)| s) {
+                    Ok(i) => children[cur][i].1 as usize,
                     Err(i) => {
-                        let id = trie.nodes.len() as u32;
-                        trie.nodes.push(TrieNode::default());
-                        trie.nodes[cur as usize].children.insert(i, (c, id));
+                        let id = children.len();
+                        children[cur].insert(i, (c, id as u32));
+                        children.push(Vec::new());
+                        partition.push(None);
                         id
                     }
                 };
             }
-            trie.nodes[cur as usize].partition = Some(idx as u32);
+            partition[cur] = Some(idx as u32);
         }
-        trie
+        let mut nodes = Vec::with_capacity(children.len());
+        let mut edges = Vec::with_capacity(children.iter().map(Vec::len).sum());
+        for (kids, part) in children.into_iter().zip(partition) {
+            nodes.push(TrieNode {
+                edges_start: edges.len() as u32,
+                edges_len: kids.len() as u32,
+                partition: part,
+            });
+            edges.extend(kids);
+        }
+        PrefixTrie { nodes, edges }
+    }
+
+    fn children(&self, node: u32) -> &[(u8, u32)] {
+        let n = &self.nodes[node as usize];
+        &self.edges[n.edges_start as usize..(n.edges_start + n.edges_len) as usize]
     }
 
     /// Number of trie nodes (reported in experiments as the "trie on top").
@@ -66,10 +100,13 @@ impl PrefixTrie {
         self.nodes.len()
     }
 
-    /// Approximate in-memory size of the trie in bytes.
+    /// Exact in-memory size of the trie in bytes: the node records plus the
+    /// packed edge arena. (The old estimate charged 5 bytes per edge and
+    /// ignored both the per-node `Vec` headers it actually paid and edge-slot
+    /// padding; the packed layout makes the figure exact instead.)
     pub fn approx_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<TrieNode>()
-            + self.nodes.iter().map(|n| n.children.len() * 5).sum::<usize>()
+            + self.edges.len() * std::mem::size_of::<(u8, u32)>()
     }
 
     /// Partitions that can contain occurrences of `pattern`.
@@ -81,13 +118,12 @@ impl PrefixTrie {
     /// prefix-free).
     pub fn candidates(&self, pattern: &[u8]) -> Vec<u32> {
         let mut cur = 0u32;
-        for (i, &c) in pattern.iter().enumerate() {
+        for &c in pattern {
             if let Some(p) = self.nodes[cur as usize].partition {
-                let _ = i;
                 return vec![p];
             }
-            match self.nodes[cur as usize].children.binary_search_by_key(&c, |&(s, _)| s) {
-                Ok(k) => cur = self.nodes[cur as usize].children[k].1,
+            match self.children(cur).binary_search_by_key(&c, |&(s, _)| s) {
+                Ok(k) => cur = self.children(cur)[k].1,
                 Err(_) => return Vec::new(),
             }
         }
@@ -100,36 +136,31 @@ impl PrefixTrie {
     fn collect_partitions(&self, node: u32, out: &mut Vec<u32>) {
         let mut stack = vec![node];
         while let Some(cur) = stack.pop() {
-            let n = &self.nodes[cur as usize];
-            if let Some(p) = n.partition {
+            if let Some(p) = self.nodes[cur as usize].partition {
                 out.push(p);
             }
-            for &(_, c) in n.children.iter().rev() {
+            for &(_, c) in self.children(cur).iter().rev() {
                 stack.push(c);
             }
         }
     }
 
-    /// `(string_depth, number_of_partitions_below)` for every trie node —
-    /// used to account for repeated substrings shorter than the partition
+    /// `(string_depth, node, number_of_partitions_below)` for every trie node
+    /// — used to account for repeated substrings shorter than the partition
     /// prefixes.
     fn depth_and_partition_counts(&self) -> Vec<(u32, u32, usize)> {
-        // (node, depth, partitions_below)
         let mut counts = vec![0usize; self.nodes.len()];
-        // Iterative post-order via reverse BFS order (children have larger ids
-        // than parents because of construction order? not guaranteed; do DFS).
         let mut order = Vec::with_capacity(self.nodes.len());
         let mut stack = vec![(0u32, 0u32)];
         while let Some((cur, depth)) = stack.pop() {
             order.push((cur, depth));
-            for &(_, c) in &self.nodes[cur as usize].children {
+            for &(_, c) in self.children(cur) {
                 stack.push((c, depth + 1));
             }
         }
         for &(id, _) in order.iter().rev() {
-            let n = &self.nodes[id as usize];
-            let mut c = usize::from(n.partition.is_some());
-            for &(_, child) in &n.children {
+            let mut c = usize::from(self.nodes[id as usize].partition.is_some());
+            for &(_, child) in self.children(id) {
                 c += counts[child as usize];
             }
             counts[id as usize] = c;
@@ -138,18 +169,31 @@ impl PrefixTrie {
     }
 }
 
-/// The complete index: partitions plus the routing trie.
+/// The complete index: frozen partitions plus the routing trie.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionedSuffixTree {
     text_len: usize,
-    partitions: Vec<Partition>,
+    partitions: Vec<FlatPartition>,
     trie: PrefixTrie,
 }
 
 impl PartitionedSuffixTree {
-    /// Builds the index from partitions. They are sorted by prefix; the
-    /// prefixes must be prefix-free (which vertical partitioning guarantees).
+    /// Builds the index from construction-form partitions: sorts them by
+    /// prefix, freezes every sub-tree into the flat serving layout and builds
+    /// the routing trie. The prefixes must be prefix-free (which vertical
+    /// partitioning guarantees).
     pub fn new(text_len: usize, mut partitions: Vec<Partition>) -> Self {
+        partitions.sort_by(|a, b| a.prefix.cmp(&b.prefix));
+        let flat: Vec<FlatPartition> = partitions
+            .into_iter()
+            .map(|p| FlatPartition { tree: FlatTree::freeze(&p.tree), prefix: p.prefix })
+            .collect();
+        Self::from_flat(text_len, flat)
+    }
+
+    /// Builds the index from already-frozen partitions (the deserialization
+    /// path; [`Self::new`] is the construction path).
+    pub fn from_flat(text_len: usize, mut partitions: Vec<FlatPartition>) -> Self {
         partitions.sort_by(|a, b| a.prefix.cmp(&b.prefix));
         let prefixes: Vec<Vec<u8>> = partitions.iter().map(|p| p.prefix.clone()).collect();
         let trie = PrefixTrie::build(&prefixes);
@@ -161,8 +205,8 @@ impl PartitionedSuffixTree {
         self.text_len
     }
 
-    /// The partitions in lexicographic prefix order.
-    pub fn partitions(&self) -> &[Partition] {
+    /// The frozen partitions in lexicographic prefix order.
+    pub fn partitions(&self) -> &[FlatPartition] {
         &self.partitions
     }
 
@@ -385,6 +429,15 @@ mod tests {
     }
 
     #[test]
+    fn partitions_are_served_flat() {
+        let text = b"mississippi\0";
+        let part = partition_by_first_char(text);
+        let stats = part.stats();
+        assert_eq!(stats.arena_bytes, stats.nodes * crate::layout::FLAT_NODE_BYTES);
+        assert!((stats.bytes_per_node() - crate::layout::FLAT_NODE_BYTES as f64).abs() < 1e-9);
+    }
+
+    #[test]
     fn lexicographic_merge_equals_suffix_array() {
         let text = b"abracadabra\0";
         let part = partition_by_first_char(text);
@@ -432,6 +485,16 @@ mod tests {
         // Pattern equal to a short prefix.
         assert_eq!(trie.candidates(b"A"), vec![3]);
         assert!(trie.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn trie_bytes_account_for_every_edge() {
+        let prefixes = vec![b"TGA".to_vec(), b"TGC".to_vec(), b"TGG".to_vec(), b"A".to_vec()];
+        let trie = PrefixTrie::build(&prefixes);
+        // 7 nodes (root, T, TG, TGA, TGC, TGG, A) and 6 edges.
+        assert_eq!(trie.node_count(), 7);
+        let expected = 7 * std::mem::size_of::<TrieNode>() + 6 * std::mem::size_of::<(u8, u32)>();
+        assert_eq!(trie.approx_bytes(), expected);
     }
 
     #[test]

@@ -4,16 +4,30 @@
 //! are produced (the human-genome tree is ~26× the input, so it cannot stay in
 //! memory). The format is a simple little-endian layout with a magic header —
 //! no external codec dependencies.
+//!
+//! Two tree formats exist:
+//!
+//! * `ERAFLAT1` — the flat serving layout ([`FlatTree`]): a fixed 16-byte
+//!   record per node, written verbatim. This is what
+//!   [`PartitionedSuffixTree::save_to_dir`] produces; loading is a single
+//!   bulk read with no per-node pointer rebuilding.
+//! * `ERASTRE1` — the legacy construction-form layout ([`SuffixTree`]) with
+//!   explicit parent pointers and child lists. Still written by
+//!   [`write_tree`] for construction-side tooling, and still accepted by
+//!   [`PartitionedSuffixTree::load_from_dir`] (legacy partitions are frozen
+//!   on load).
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use crate::layout::{FlatNode, FlatPartition, FlatTree};
 use crate::node::{Node, NodeData, NodeId};
-use crate::partitioned::{Partition, PartitionedSuffixTree};
+use crate::partitioned::PartitionedSuffixTree;
 use crate::tree::SuffixTree;
 
 const TREE_MAGIC: &[u8; 8] = b"ERASTRE1";
+const FLAT_MAGIC: &[u8; 8] = b"ERAFLAT1";
 const PART_MAGIC: &[u8; 8] = b"ERAPART1";
 
 fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
@@ -36,7 +50,7 @@ fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
     Ok(b[0])
 }
 
-/// Writes a tree to any writer.
+/// Writes a construction-form tree to any writer (`ERASTRE1`).
 pub fn write_tree<W: Write>(w: &mut W, tree: &SuffixTree) -> io::Result<()> {
     w.write_all(TREE_MAGIC)?;
     write_u32(w, tree.text_len() as u32)?;
@@ -64,13 +78,18 @@ pub fn write_tree<W: Write>(w: &mut W, tree: &SuffixTree) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a tree previously written with [`write_tree`].
+/// Reads a construction-form tree previously written with [`write_tree`].
 pub fn read_tree<R: Read>(r: &mut R) -> io::Result<SuffixTree> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != TREE_MAGIC {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "not an ERA suffix tree file"));
     }
+    read_tree_body(r)
+}
+
+/// Reads the `ERASTRE1` body after the magic has been consumed.
+fn read_tree_body<R: Read>(r: &mut R) -> io::Result<SuffixTree> {
     let text_len = read_u32(r)? as usize;
     let node_count = read_u32(r)? as usize;
     let mut tree = SuffixTree::with_capacity(text_len, node_count);
@@ -96,6 +115,58 @@ pub fn read_tree<R: Read>(r: &mut R) -> io::Result<SuffixTree> {
         } else {
             tree.push_raw(node);
         }
+    }
+    Ok(tree)
+}
+
+/// Writes a flat serving-layout tree to any writer (`ERAFLAT1`): the magic,
+/// the text length, the node count, then the fixed 16-byte records verbatim.
+pub fn write_flat_tree<W: Write>(w: &mut W, tree: &FlatTree) -> io::Result<()> {
+    w.write_all(FLAT_MAGIC)?;
+    write_u32(w, tree.text_len() as u32)?;
+    write_u32(w, tree.node_count() as u32)?;
+    for id in tree.node_ids() {
+        let (start, end, payload, meta) = tree.raw_node(id);
+        write_u32(w, start)?;
+        write_u32(w, end)?;
+        write_u32(w, payload)?;
+        write_u32(w, meta)?;
+    }
+    Ok(())
+}
+
+/// Reads a flat tree previously written with [`write_flat_tree`], validating
+/// that every child range stays inside the arena.
+pub fn read_flat_tree<R: Read>(r: &mut R) -> io::Result<FlatTree> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != FLAT_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an ERA flat tree file"));
+    }
+    read_flat_tree_body(r)
+}
+
+/// Reads the `ERAFLAT1` body after the magic has been consumed.
+fn read_flat_tree_body<R: Read>(r: &mut R) -> io::Result<FlatTree> {
+    let text_len = read_u32(r)?;
+    let node_count = read_u32(r)? as usize;
+    if node_count == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "flat tree without a root"));
+    }
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let start = read_u32(r)?;
+        let end = read_u32(r)?;
+        let payload = read_u32(r)?;
+        let meta = read_u32(r)?;
+        nodes.push(FlatNode::from_raw(start, end, payload, meta));
+    }
+    let tree = FlatTree::from_raw_parts(text_len, nodes);
+    if !tree.child_ranges_in_bounds() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "flat tree child range out of bounds",
+        ));
     }
     Ok(tree)
 }
@@ -130,6 +201,40 @@ impl SuffixTree {
     }
 }
 
+impl FlatTree {
+    /// Saves the flat tree to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        write_flat_tree(&mut w, self)?;
+        w.flush()
+    }
+
+    /// Loads a flat tree from a file. Accepts both formats: `ERAFLAT1` is
+    /// read verbatim, a legacy `ERASTRE1` file is frozen on load.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<FlatTree> {
+        let mut r = BufReader::new(File::open(path)?);
+        read_any_tree(&mut r)
+    }
+
+    /// Serialized size in bytes (without writing anywhere): a fixed header
+    /// plus 16 bytes per node.
+    pub fn serialized_size(&self) -> usize {
+        8 + 4 + 4 + self.node_count() * 16
+    }
+}
+
+/// Reads a tree in either format, returning the flat serving form: an
+/// `ERAFLAT1` payload verbatim, an `ERASTRE1` payload frozen after loading.
+fn read_any_tree<R: Read>(r: &mut R) -> io::Result<FlatTree> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    match &magic {
+        m if m == FLAT_MAGIC => read_flat_tree_body(r),
+        m if m == TREE_MAGIC => Ok(FlatTree::freeze(&read_tree_body(r)?)),
+        _ => Err(io::Error::new(io::ErrorKind::InvalidData, "not an ERA tree file")),
+    }
+}
+
 #[derive(Default)]
 struct CountingWriter {
     bytes: usize,
@@ -146,8 +251,8 @@ impl Write for CountingWriter {
 }
 
 impl PartitionedSuffixTree {
-    /// Saves the whole index into `dir`: a manifest plus one file per
-    /// partition sub-tree.
+    /// Saves the whole index into `dir`: a manifest plus one flat
+    /// (`ERAFLAT1`) file per partition sub-tree.
     pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> io::Result<()> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
@@ -164,6 +269,10 @@ impl PartitionedSuffixTree {
     }
 
     /// Loads an index previously written by [`Self::save_to_dir`].
+    ///
+    /// Partition files written by older versions in the construction-form
+    /// (`ERASTRE1`) layout load transparently — they are frozen into the flat
+    /// serving form as they are read.
     pub fn load_from_dir(dir: impl AsRef<Path>) -> io::Result<PartitionedSuffixTree> {
         let dir = dir.as_ref();
         let mut manifest = BufReader::new(File::open(dir.join("manifest.era"))?);
@@ -179,10 +288,10 @@ impl PartitionedSuffixTree {
             let plen = read_u32(&mut manifest)? as usize;
             let mut prefix = vec![0u8; plen];
             manifest.read_exact(&mut prefix)?;
-            let tree = SuffixTree::load(dir.join(format!("part-{i:05}.st")))?;
-            partitions.push(Partition { prefix, tree });
+            let tree = FlatTree::load(dir.join(format!("part-{i:05}.st")))?;
+            partitions.push(FlatPartition { prefix, tree });
         }
-        Ok(PartitionedSuffixTree::new(text_len, partitions))
+        Ok(PartitionedSuffixTree::from_flat(text_len, partitions))
     }
 }
 
@@ -212,6 +321,18 @@ mod tests {
     }
 
     #[test]
+    fn flat_tree_roundtrip_in_memory() {
+        let text = b"mississippi\0";
+        let flat = FlatTree::freeze(&naive_suffix_tree(text));
+        let mut buf = Vec::new();
+        write_flat_tree(&mut buf, &flat).unwrap();
+        let back = read_flat_tree(&mut buf.as_slice()).unwrap();
+        assert_eq!(flat, back);
+        assert_eq!(flat.serialized_size(), buf.len());
+        validate_suffix_tree(&back.thaw(), text, Some(text.len())).unwrap();
+    }
+
+    #[test]
     fn tree_roundtrip_on_disk() {
         let dir = temp_dir("tree");
         let text = b"abracadabra\0";
@@ -224,9 +345,35 @@ mod tests {
     }
 
     #[test]
+    fn flat_load_accepts_legacy_format() {
+        let dir = temp_dir("flat-legacy");
+        let text = b"abracadabra\0";
+        let tree = naive_suffix_tree(text);
+        let path = dir.join("legacy.st");
+        tree.save(&path).unwrap(); // construction-form ERASTRE1 bytes
+        let back = FlatTree::load(&path).unwrap();
+        assert_eq!(back, FlatTree::freeze(&tree));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let data = b"NOTATREExxxxxxxxxxxx".to_vec();
         assert!(read_tree(&mut data.as_slice()).is_err());
+        assert!(read_flat_tree(&mut data.as_slice()).is_err());
+        assert!(read_any_tree(&mut data.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_child_range() {
+        let flat = FlatTree::freeze(&naive_suffix_tree(b"ab\0"));
+        let mut buf = Vec::new();
+        write_flat_tree(&mut buf, &flat).unwrap();
+        // Corrupt the root's child count (meta word of node 0) to overflow
+        // the arena.
+        let meta_off = 8 + 4 + 4 + 12;
+        buf[meta_off..meta_off + 4].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(read_flat_tree(&mut buf.as_slice()).is_err());
     }
 
     #[test]
@@ -237,8 +384,24 @@ mod tests {
         let dir = temp_dir("part");
         index.save_to_dir(&dir).unwrap();
         let back = PartitionedSuffixTree::load_from_dir(&dir).unwrap();
+        assert_eq!(index, back);
         assert_eq!(index.leaf_count(), back.leaf_count());
         assert_eq!(index.find_all(text, b"GATTACA"), back.find_all(text, b"GATTACA"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partitioned_load_accepts_legacy_partition_files() {
+        // Simulate an index saved by an older version: same manifest, but the
+        // partition files carry construction-form ERASTRE1 bytes.
+        let text = b"GATTACAGATTACA\0";
+        let full = naive_suffix_tree(text);
+        let index = PartitionedSuffixTree::single(text.len(), full.clone());
+        let dir = temp_dir("part-legacy");
+        index.save_to_dir(&dir).unwrap();
+        full.save(dir.join("part-00000.st")).unwrap();
+        let back = PartitionedSuffixTree::load_from_dir(&dir).unwrap();
+        assert_eq!(index, back);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -14,6 +14,10 @@ pub struct TreeStats {
     /// Maximum string depth over internal nodes — i.e. the length of the
     /// longest repeated substring indexed by the tree.
     pub max_internal_depth: u32,
+    /// In-memory size of the node arena(s) in bytes. Exact for the flat
+    /// serving layout (a fixed record per node); for the construction form it
+    /// includes the per-node child vectors.
+    pub arena_bytes: usize,
 }
 
 impl TreeStats {
@@ -26,7 +30,18 @@ impl TreeStats {
             internal: self.internal + other.internal,
             max_depth: self.max_depth.max(other.max_depth),
             max_internal_depth: self.max_internal_depth.max(other.max_internal_depth),
+            arena_bytes: self.arena_bytes + other.arena_bytes,
         }
+    }
+
+    /// Average bytes of arena per node — the layout-regression canary: the
+    /// flat serving layout pins this at 16.0, the `Vec`-node construction
+    /// form sits well above 48.
+    pub fn bytes_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        self.arena_bytes as f64 / self.nodes as f64
     }
 }
 
@@ -36,13 +51,34 @@ mod tests {
 
     #[test]
     fn merge_sums_and_maxes() {
-        let a = TreeStats { nodes: 3, leaves: 2, internal: 1, max_depth: 5, max_internal_depth: 2 };
-        let b = TreeStats { nodes: 7, leaves: 4, internal: 3, max_depth: 4, max_internal_depth: 3 };
+        let a = TreeStats {
+            nodes: 3,
+            leaves: 2,
+            internal: 1,
+            max_depth: 5,
+            max_internal_depth: 2,
+            arena_bytes: 48,
+        };
+        let b = TreeStats {
+            nodes: 7,
+            leaves: 4,
+            internal: 3,
+            max_depth: 4,
+            max_internal_depth: 3,
+            arena_bytes: 112,
+        };
         let m = a.merge(&b);
         assert_eq!(m.nodes, 10);
         assert_eq!(m.leaves, 6);
         assert_eq!(m.internal, 4);
         assert_eq!(m.max_depth, 5);
         assert_eq!(m.max_internal_depth, 3);
+        assert_eq!(m.arena_bytes, 160);
+        assert!((m.bytes_per_node() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_per_node_of_empty_stats_is_zero() {
+        assert_eq!(TreeStats::default().bytes_per_node(), 0.0);
     }
 }

@@ -278,7 +278,11 @@ impl SuffixTree {
 
     /// Structural statistics of the tree.
     pub fn stats(&self) -> TreeStats {
-        let mut stats = TreeStats { nodes: self.nodes.len(), ..TreeStats::default() };
+        let mut stats = TreeStats {
+            nodes: self.nodes.len(),
+            arena_bytes: self.approx_bytes(),
+            ..TreeStats::default()
+        };
         for (id, depth) in self.dfs() {
             let n = self.node(id);
             if n.is_leaf() {

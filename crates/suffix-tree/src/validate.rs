@@ -8,6 +8,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use crate::layout::FlatTree;
 use crate::node::{NodeData, NodeId};
 use crate::partitioned::PartitionedSuffixTree;
 use crate::tree::SuffixTree;
@@ -138,6 +139,23 @@ pub fn validate_suffix_tree(
     Ok(())
 }
 
+/// Validates a flat serving-layout tree against the text.
+///
+/// The flat arena is checked on its own terms first (child ranges in bounds,
+/// never claiming the root), then thawed — the id-preserving inverse of the
+/// freeze — and run through [`validate_suffix_tree`], so both the layout
+/// encoding and the structural suffix-tree invariants are certified.
+pub fn validate_flat_tree(
+    tree: &FlatTree,
+    text: &[u8],
+    expected_leaves: Option<usize>,
+) -> Result<(), ValidationError> {
+    if !tree.child_ranges_in_bounds() {
+        return Err(ValidationError::EdgeOutOfBounds(tree.root()));
+    }
+    validate_suffix_tree(&tree.thaw(), text, expected_leaves)
+}
+
 /// Validates a partitioned suffix tree: every sub-tree is well formed, every
 /// leaf of partition `p` is an occurrence of `p`, and across all partitions
 /// the leaves are exactly the suffixes `0..text.len()`.
@@ -147,7 +165,7 @@ pub fn validate_partitioned(
 ) -> Result<(), ValidationError> {
     let mut all: BTreeSet<u32> = BTreeSet::new();
     for part in tree.partitions() {
-        validate_suffix_tree(&part.tree, text, None)?;
+        validate_flat_tree(&part.tree, text, None)?;
         for leaf in part.tree.lexicographic_suffixes() {
             if !text[leaf as usize..].starts_with(&part.prefix) {
                 return Err(ValidationError::WrongSuffix { leaf: 0, suffix: leaf });

@@ -52,7 +52,7 @@ pub fn tree_bytes(tree: &PartitionedSuffixTree) -> Vec<u8> {
     for partition in tree.partitions() {
         out.extend_from_slice(&(partition.prefix.len() as u64).to_le_bytes());
         out.extend_from_slice(&partition.prefix);
-        era_suffix_tree::serialize::write_tree(&mut out, &partition.tree)
+        era_suffix_tree::serialize::write_flat_tree(&mut out, &partition.tree)
             .expect("serialization succeeds");
     }
     out

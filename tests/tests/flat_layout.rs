@@ -1,0 +1,187 @@
+//! The flat serving layout must be observationally identical to the Vec-node
+//! construction form.
+//!
+//! Every sub-tree the pipeline serves is a [`FlatTree`] frozen from the
+//! construction-form [`SuffixTree`]; `thaw` is the id-preserving inverse.
+//! These property tests pin the equivalence end-to-end: identical
+//! contains/count/locate answers through byte slices and through all four
+//! store backends (`InMemoryStore`, `DiskStore`, `PackedMemoryStore`,
+//! `PackedDiskStore`), a lossless freeze/thaw cycle, and a lossless
+//! `ERAFLAT1` serialization round-trip.
+
+use era::{ConstructionPipeline, EraConfig, SerialScheduler};
+use era_string_store::{
+    Alphabet, DiskStore, InMemoryStore, PackedDiskStore, PackedMemoryStore, StoreTextSource,
+    StringStore,
+};
+use era_suffix_tree::{naive_suffix_tree, validate_flat_tree, FlatTree};
+use era_tests::{scan_occurrences, terminated};
+use proptest::collection;
+use proptest::prelude::*;
+
+fn config() -> EraConfig {
+    EraConfig {
+        memory_budget: 8 << 10,
+        r_buffer_size: Some(512),
+        input_buffer_size: 128,
+        trie_area: 128,
+        ..EraConfig::default()
+    }
+}
+
+/// The alphabets whose stores are exercised: one per backend bit width class.
+fn alphabets() -> Vec<Alphabet> {
+    vec![Alphabet::dna(), Alphabet::protein(), Alphabet::english()]
+}
+
+/// Maps raw generator bytes onto alphabet symbols.
+fn body_from(raw: &[u8], alphabet: &Alphabet) -> Vec<u8> {
+    let symbols = alphabet.symbols();
+    raw.iter().map(|&b| symbols[b as usize % symbols.len()]).collect()
+}
+
+fn scratch_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("era-flat-layout-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, max_shrink_iters: 0 })]
+
+    /// Freezing renumbers nodes into DFS order, so thawing is lossless up to
+    /// that canonical numbering: the thawed tree freezes back bit-identically
+    /// and indexes the same suffixes, and the frozen form validates.
+    #[test]
+    fn freeze_thaw_is_lossless(
+        which in 0usize..3,
+        raw_bytes in collection::vec(any::<u8>(), 1..300),
+    ) {
+        let alphabet = alphabets()[which].clone();
+        let body = body_from(&raw_bytes, &alphabet);
+        let text = terminated(&body);
+        let tree = naive_suffix_tree(&text);
+        let flat = FlatTree::freeze(&tree);
+        validate_flat_tree(&flat, &text, Some(text.len())).expect("flat tree validates");
+        let thawed = flat.thaw();
+        prop_assert_eq!(FlatTree::freeze(&thawed), flat.clone());
+        prop_assert_eq!(thawed.lexicographic_suffixes(), tree.lexicographic_suffixes());
+        prop_assert_eq!(thawed.stats(), tree.stats());
+    }
+
+    /// The flat form answers contains/count/locate byte-identically to the
+    /// Vec-node form it was frozen from, for present and absent patterns.
+    #[test]
+    fn flat_answers_match_construction_form(
+        which in 0usize..3,
+        raw_bytes in collection::vec(any::<u8>(), 1..300),
+        pat_start in 0usize..300,
+        pat_len in 1usize..12,
+    ) {
+        let alphabet = alphabets()[which].clone();
+        let body = body_from(&raw_bytes, &alphabet);
+        let text = terminated(&body);
+        let tree = naive_suffix_tree(&text);
+        let flat = FlatTree::freeze(&tree);
+        let start = pat_start % body.len();
+        let patterns = [
+            body[start..(start + pat_len).min(body.len())].to_vec(),
+            vec![0u8],
+            b"\x02never".to_vec(),
+            Vec::new(),
+        ];
+        for p in &patterns {
+            prop_assert_eq!(flat.contains(&text, p), tree.contains(&text, p));
+            prop_assert_eq!(flat.count(&text, p), tree.count(&text, p));
+            prop_assert_eq!(flat.find_all_sorted(&text, p), tree.find_all_sorted(&text, p));
+            if !p.is_empty() {
+                prop_assert_eq!(flat.find_all_sorted(&text, p), scan_occurrences(&text, p));
+            }
+        }
+    }
+
+    /// The full pipeline output (flat-served partitions) answers like the
+    /// thawed Vec-node partitions through every store backend.
+    #[test]
+    fn all_backends_answer_like_the_thawed_form(
+        raw_bytes in collection::vec(any::<u8>(), 4..250),
+        pat_start in 0usize..250,
+        pat_len in 1usize..10,
+    ) {
+        let alphabet = Alphabet::dna();
+        let body = body_from(&raw_bytes, &alphabet);
+        let text = terminated(&body);
+        let store = InMemoryStore::from_body(&body, alphabet.clone())
+            .unwrap()
+            .with_block_size(64)
+            .unwrap();
+        let (tree, _) = ConstructionPipeline::new(&config())
+            .run(&SerialScheduler::new(&store))
+            .expect("build");
+        let thawed: Vec<_> = tree.partitions().iter().map(|p| p.tree.thaw()).collect();
+
+        let dir = scratch_dir();
+        let tag = format!("{}-{}", raw_bytes.len(), pat_start);
+        let disk =
+            DiskStore::create(dir.join(format!("b-{tag}.era")), &body, alphabet.clone(), 64)
+                .unwrap();
+        let packed_mem =
+            PackedMemoryStore::from_body(&body, alphabet.clone()).unwrap().with_block_size(64).unwrap();
+        let packed_disk =
+            PackedDiskStore::create(dir.join(format!("b-{tag}.erap")), &body, alphabet.clone(), 64)
+                .unwrap();
+        let backends: [&dyn StringStore; 4] = [&store, &disk, &packed_mem, &packed_disk];
+
+        let start = pat_start % body.len();
+        let patterns = [
+            body[start..(start + pat_len).min(body.len())].to_vec(),
+            vec![0u8],
+            b"\x02never".to_vec(),
+        ];
+        for backend in backends {
+            let source = StoreTextSource::with_window(backend, 64);
+            for p in &patterns {
+                let mut count = 0usize;
+                let mut found: Vec<u32> = Vec::new();
+                let mut contains = false;
+                for (part, thaw) in tree.partitions().iter().zip(&thawed) {
+                    prop_assert_eq!(
+                        part.tree.try_contains(&source, p).unwrap(),
+                        thaw.try_contains(&source, p).unwrap()
+                    );
+                    prop_assert_eq!(
+                        part.tree.try_count(&source, p).unwrap(),
+                        thaw.try_count(&source, p).unwrap()
+                    );
+                    let flat_occ = part.tree.try_find_all(&source, p).unwrap();
+                    prop_assert_eq!(&flat_occ, &thaw.try_find_all(&source, p).unwrap());
+                    contains |= !flat_occ.is_empty();
+                    count += flat_occ.len();
+                    found.extend(flat_occ);
+                }
+                found.sort_unstable();
+                // The partition-level sums must equal the oracle and the
+                // tree-level answers through the same backend.
+                prop_assert_eq!(found, scan_occurrences(&text, p));
+                prop_assert_eq!(contains, tree.try_contains(&source, p).unwrap());
+                prop_assert_eq!(count, tree.try_count(&source, p).unwrap());
+            }
+        }
+    }
+
+    /// `ERAFLAT1` serialization round-trips every frozen tree bit-for-bit.
+    #[test]
+    fn flat_serialization_roundtrip(
+        which in 0usize..3,
+        raw_bytes in collection::vec(any::<u8>(), 1..300),
+    ) {
+        let alphabet = alphabets()[which].clone();
+        let body = body_from(&raw_bytes, &alphabet);
+        let flat = FlatTree::freeze(&naive_suffix_tree(&terminated(&body)));
+        let mut bytes = Vec::new();
+        era_suffix_tree::serialize::write_flat_tree(&mut bytes, &flat).expect("write");
+        prop_assert_eq!(bytes.len(), flat.serialized_size());
+        let back = era_suffix_tree::serialize::read_flat_tree(&mut bytes.as_slice()).expect("read");
+        prop_assert_eq!(back, flat);
+    }
+}

@@ -144,8 +144,8 @@ fn packed_disk_store_matches_raw_across_schedulers() {
 #[test]
 #[ignore = "multi-MB workload; run explicitly / in the CI packed-io job"]
 fn packed_disk_store_matches_raw_on_multi_mb_workload() {
-    let body = genome_like(2 << 20, 1117);
-    assert_packed_matches_raw(&body, 1 << 20, 3, "large");
+    let body = genome_like(4 << 20, 1117);
+    assert_packed_matches_raw(&body, 2 << 20, 3, "large");
 }
 
 /// The packed file itself is ~4x smaller than the raw file — the other half
