@@ -10,6 +10,9 @@
 //! repro all --out report.md  # also write the Markdown report to a file
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use std::io::Write;
 
 use era_bench::{all_experiments, run_experiment, Scale};

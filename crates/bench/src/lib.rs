@@ -17,6 +17,8 @@
 //! * the Criterion benches (`cargo bench`) cover the same comparisons at
 //!   smaller sizes for regression tracking.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

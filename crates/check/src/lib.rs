@@ -1,0 +1,27 @@
+//! `era-check`: the workspace's static-analysis and artifact-verification
+//! subsystem.
+//!
+//! Three independent passes, each usable as a library and wired together by
+//! the `era-check` binary (and by the CI `static-analysis` job):
+//!
+//! - [`lint`] — source lints over the workspace's own `.rs` files, enforcing
+//!   the seams the architecture depends on: raw `read_at` calls stay confined
+//!   to the cursor/text-source layer, `// era-check: hot` functions do not
+//!   allocate, library crates do not `unwrap()`, and the unsafe-code census
+//!   stays at zero.
+//! - [`fsck`] — deep verification of on-disk index artifacts (`ERAFLAT1`
+//!   part files, `ERAPART1` manifests, `ERAP` packed text), reusing the
+//!   `era-suffix-tree` validators so a corrupted artifact is rejected with a
+//!   diagnostic instead of serving wrong answers.
+//! - [`models`] — small concurrency models of the BlockCache accounting and
+//!   the query-engine shared queue, checked exhaustively under every
+//!   interleaving by the vendored [`interleave`] explorer.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod fsck;
+pub mod lint;
+pub mod models;

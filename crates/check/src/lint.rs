@@ -1,0 +1,547 @@
+//! Source lints over the workspace's own `.rs` files.
+//!
+//! The rules encode seams the architecture depends on but the compiler cannot
+//! enforce:
+//!
+//! - **raw-read** — every `read_at` call outside `cursor.rs` / `text_source.rs`
+//!   is flagged. All block I/O is supposed to flow through [`BlockCursor`] and
+//!   the text-source layer so it is accounted in `IoStats`; a stray `read_at`
+//!   is unaccounted I/O.
+//! - **hot-alloc** — functions marked with a `// era-check: hot` comment must
+//!   not allocate a `Vec` (`Vec::new`, `with_capacity`, `vec![`, `to_vec`,
+//!   `collect`). The serving hot path is allocation-free by design.
+//! - **unwrap** — no `unwrap()` / `expect(` in library crates outside test
+//!   code. Library errors must propagate; deliberate exceptions carry a
+//!   `// era-check: allow(unwrap): reason` suppression.
+//! - **unsafe-census** — occurrences of `unsafe` in non-vendor crates. The
+//!   budget is zero, and every crate root now carries
+//!   `#![forbid(unsafe_code)]`; the census keeps that from regressing via
+//!   attribute removal.
+//!
+//! A finding can be suppressed with `// era-check: allow(<rule>)` on the same
+//! line or the immediately preceding line. Code under a `#[cfg(test)]` module
+//! is skipped entirely.
+//!
+//! The scanner is deliberately line-level (comments and string literals are
+//! stripped by a small state machine, `#[cfg(test)]` modules by brace
+//! tracking) rather than a full parse: the rules only need token-ish
+//! precision, and keeping the checker dependency-free matters more here than
+//! handling pathological macro-generated code.
+//!
+//! [`BlockCursor`]: era_string_store::BlockCursor
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lint rules `era-check lint` knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `read_at` call outside the cursor / text-source layer.
+    RawRead,
+    /// `Vec` allocation inside a `// era-check: hot` function.
+    HotAlloc,
+    /// `unwrap()` / `expect(` in a library crate outside tests.
+    Unwrap,
+    /// Any use of `unsafe`.
+    UnsafeCode,
+}
+
+impl Rule {
+    /// The rule's name as used in `// era-check: allow(<name>)` directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::RawRead => "raw-read",
+            Rule::HotAlloc => "hot-alloc",
+            Rule::Unwrap => "unwrap",
+            Rule::UnsafeCode => "unsafe",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// File the violation is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.excerpt)
+    }
+}
+
+/// Per-file lint policy, derived from the file's place in the workspace.
+#[derive(Debug, Clone, Copy)]
+pub struct FilePolicy {
+    /// Whether `read_at` calls are allowed here (the cursor/text-source seam).
+    pub raw_read_allowed: bool,
+    /// Whether the unwrap rule applies (library crates only).
+    pub unwrap_denied: bool,
+}
+
+/// File names that form the accounted-I/O seam: the only places a raw
+/// `read_at` may appear.
+pub const RAW_READ_SEAM: &[&str] = &["cursor.rs", "text_source.rs"];
+
+/// Crate directories whose sources are linted as *library* code (the unwrap
+/// rule applies). Harness crates — bench, tests, examples, and era-check
+/// itself — may unwrap freely.
+pub const LIBRARY_CRATES: &[&str] = &[
+    "crates/string-store",
+    "crates/suffix-array",
+    "crates/suffix-tree",
+    "crates/core",
+    "crates/baselines",
+    "crates/workloads",
+];
+
+/// Directories never linted: vendored stand-ins and build output.
+pub const EXCLUDED_DIRS: &[&str] = &["crates/vendor", "target", ".git"];
+
+impl FilePolicy {
+    /// The policy for `path`, interpreted relative to the workspace root.
+    pub fn for_path(rel: &Path) -> FilePolicy {
+        let file_name = rel.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let rel_str = rel.to_string_lossy();
+        FilePolicy {
+            raw_read_allowed: RAW_READ_SEAM.contains(&file_name),
+            unwrap_denied: LIBRARY_CRATES.iter().any(|c| rel_str.starts_with(c)),
+        }
+    }
+}
+
+/// Strips comments and string/char literals from one line of source,
+/// returning `(code, comment)` where `comment` is the text of a trailing
+/// `//` comment (empty if none). `in_block_comment` carries `/* … */` state
+/// across lines.
+fn split_code_comment(line: &str, in_block_comment: &mut bool) -> (String, String) {
+    let bytes = line.as_bytes();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                comment.push_str(&line[i..]);
+                break;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            b'"' => {
+                // String literal: skip to the unescaped closing quote. Raw
+                // strings (r"…") lack escapes but close the same way for the
+                // simple literals this workspace uses.
+                code.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' {
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        code.push('"');
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal only if it closes within a couple of chars
+                // ('x', '\n', b'{'); otherwise it is a lifetime.
+                let lit_len = if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+                    if i + 3 < bytes.len() && bytes[i + 3] == b'\'' {
+                        4
+                    } else {
+                        0
+                    }
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    3
+                } else {
+                    0
+                };
+                if lit_len > 0 {
+                    code.push('\'');
+                    i += lit_len;
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            b => {
+                code.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    (code, comment)
+}
+
+/// Whether `code` contains `needle` as a call-ish token: preceded by a
+/// non-identifier character (or start of line) so `pread_at` does not match
+/// `read_at`.
+fn has_token(code: &str, needle: &str) -> bool {
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let abs = start + pos;
+        let end = abs + needle.len();
+        let prev_ok = abs == 0 || !is_ident(code.as_bytes()[abs - 1]);
+        // Only require a non-identifier follower when the needle itself ends
+        // in an identifier char (so "fn " keeps working).
+        let next_ok = !needle.ends_with(|c: char| c.is_ascii_alphanumeric() || c == '_')
+            || end >= code.len()
+            || !is_ident(code.as_bytes()[end]);
+        if prev_ok && next_ok {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+/// Allocation patterns forbidden in `// era-check: hot` functions.
+const HOT_ALLOC_PATTERNS: &[&str] =
+    &["Vec::new", "Vec::with_capacity", "vec!", ".to_vec(", ".collect(", ".collect::<"];
+
+/// Lints one file's source text. `rel` is the path relative to the workspace
+/// root (used for policy and reporting).
+pub fn lint_source(rel: &Path, source: &str) -> Vec<Finding> {
+    let policy = FilePolicy::for_path(rel);
+    let mut findings = Vec::new();
+
+    let mut in_block_comment = false;
+    let mut depth: i32 = 0;
+    // Depth at which a #[cfg(test)] mod's body opened; lines inside are skipped.
+    let mut test_mod_close: Option<i32> = None;
+    let mut pending_cfg_test = false;
+    // Depth at which a `// era-check: hot` function's body opened.
+    let mut hot_fn_close: Option<i32> = None;
+    let mut pending_hot = false;
+    let mut prev_allows: Vec<String> = Vec::new();
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let (code, comment) = split_code_comment(raw_line, &mut in_block_comment);
+
+        let mut allows: Vec<String> = Vec::new();
+        // A directive must be the comment itself ("// era-check: ..."), not a
+        // mention of one inside prose — doc comments describing the rules
+        // would otherwise arm the hot tracker.
+        let directive = comment.trim_start_matches(['/', '!']).trim_start();
+        if let Some(rest) = directive.strip_prefix("era-check:") {
+            let rest = rest.trim_start();
+            if let Some(arg) = rest.strip_prefix("allow(") {
+                if let Some(end) = arg.find(')') {
+                    allows.push(arg[..end].trim().to_string());
+                }
+            } else if rest.starts_with("hot") {
+                pending_hot = true;
+            }
+        }
+        let allowed = |rule: Rule| {
+            allows.iter().any(|a| a == rule.name()) || prev_allows.iter().any(|a| a == rule.name())
+        };
+
+        let in_test_mod = test_mod_close.is_some();
+        let opens = code.matches('{').count() as i32;
+        let closes = code.matches('}').count() as i32;
+
+        if code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if pending_cfg_test && !code.trim().is_empty() {
+            if code.trim_start().starts_with("mod ") || code.trim_start().starts_with("pub mod ") {
+                if opens > 0 && test_mod_close.is_none() {
+                    test_mod_close = Some(depth);
+                    pending_cfg_test = false;
+                }
+                // `mod foo;` without a body: the file itself is not skipped.
+                if code.contains(';') && opens == 0 {
+                    pending_cfg_test = false;
+                }
+            } else if !code.trim_start().starts_with("#[") {
+                // The cfg(test) applied to something other than a mod
+                // (a single fn or use); just clear the flag.
+                pending_cfg_test = false;
+            }
+        }
+
+        if !in_test_mod {
+            // Track the body of a hot-marked function.
+            if pending_hot && hot_fn_close.is_none() && has_token(&code, "fn ") && opens > 0 {
+                hot_fn_close = Some(depth);
+                pending_hot = false;
+            }
+            let in_hot = hot_fn_close.is_some();
+
+            if !policy.raw_read_allowed
+                && has_token(&code, "read_at")
+                && !code.contains("fn read_at")
+                && !allowed(Rule::RawRead)
+            {
+                findings.push(Finding {
+                    rule: Rule::RawRead,
+                    file: rel.to_path_buf(),
+                    line: line_no,
+                    excerpt: raw_line.trim().to_string(),
+                });
+            }
+            if in_hot
+                && HOT_ALLOC_PATTERNS.iter().any(|p| code.contains(p))
+                && !allowed(Rule::HotAlloc)
+            {
+                findings.push(Finding {
+                    rule: Rule::HotAlloc,
+                    file: rel.to_path_buf(),
+                    line: line_no,
+                    excerpt: raw_line.trim().to_string(),
+                });
+            }
+            if policy.unwrap_denied
+                && (code.contains(".unwrap()") || code.contains(".expect("))
+                && !allowed(Rule::Unwrap)
+            {
+                findings.push(Finding {
+                    rule: Rule::Unwrap,
+                    file: rel.to_path_buf(),
+                    line: line_no,
+                    excerpt: raw_line.trim().to_string(),
+                });
+            }
+            if has_token(&code, "unsafe") && !allowed(Rule::UnsafeCode) {
+                findings.push(Finding {
+                    rule: Rule::UnsafeCode,
+                    file: rel.to_path_buf(),
+                    line: line_no,
+                    excerpt: raw_line.trim().to_string(),
+                });
+            }
+        }
+
+        depth += opens - closes;
+        if let Some(d) = test_mod_close {
+            if depth <= d {
+                test_mod_close = None;
+            }
+        }
+        if let Some(d) = hot_fn_close {
+            if depth <= d {
+                hot_fn_close = None;
+            }
+        }
+        prev_allows = allows;
+    }
+    findings
+}
+
+/// A full workspace lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Files scanned.
+    pub files: usize,
+    /// All violations found, in file order.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Whether the workspace is clean.
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let rel_str = rel.to_string_lossy();
+        if EXCLUDED_DIRS.iter().any(|d| rel_str.starts_with(d)) {
+            continue;
+        }
+        if entry.file_type()?.is_dir() {
+            collect_rs_files(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every non-vendor `.rs` file under `root` (the workspace root).
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = LintReport::default();
+    for path in files {
+        let source = fs::read_to_string(&path)?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        report.files += 1;
+        report.findings.extend(lint_source(&rel, &source));
+    }
+    Ok(report)
+}
+
+/// Locates the workspace root by walking up from `start` until a directory
+/// containing a `[workspace]` Cargo.toml is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_lib(src: &str) -> Vec<Finding> {
+        lint_source(Path::new("crates/string-store/src/example.rs"), src)
+    }
+
+    #[test]
+    fn unaccounted_read_at_is_flagged() {
+        let src = "fn f(s: &dyn StringStore) {\n    s.read_at(0, &mut buf);\n}\n";
+        let f = lint_lib(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::RawRead);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn read_at_in_seam_files_is_allowed() {
+        let src = "fn f(s: &dyn StringStore) { s.read_at(0, &mut buf); }\n";
+        let f = lint_source(Path::new("crates/string-store/src/cursor.rs"), src);
+        assert!(f.is_empty(), "{f:?}");
+        let f = lint_source(Path::new("crates/string-store/src/text_source.rs"), src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn read_at_definition_and_suppression_are_not_flagged() {
+        let src = "\
+fn read_at(&self, pos: u64, buf: &mut [u8]) {}
+fn g(s: &S) {
+    // era-check: allow(raw-read): forwarding impl
+    s.read_at(0, buf);
+    s.read_at(1, buf); // era-check: allow(raw-read)
+}
+";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn read_at_in_comments_strings_and_tests_is_ignored() {
+        let src = "\
+// a comment about read_at
+fn f() { let s = \"read_at\"; }
+#[cfg(test)]
+mod tests {
+    fn g(s: &S) { s.read_at(0, buf); }
+}
+";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn hot_function_allocation_is_flagged() {
+        let src = "\
+// era-check: hot
+fn lookup(&self) -> u32 {
+    let v = Vec::with_capacity(4);
+    0
+}
+fn cold(&self) -> Vec<u32> {
+    Vec::with_capacity(4)
+}
+";
+        let f = lint_lib(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::HotAlloc);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn unwrap_in_library_is_flagged_but_harness_crates_are_exempt() {
+        let src = "fn f() { x.unwrap(); }\n";
+        let f = lint_lib(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Unwrap);
+        assert!(lint_source(Path::new("crates/bench/src/main.rs"), src).is_empty());
+        assert!(lint_source(Path::new("tests/src/lib.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn suppressed_expect_carries_reason() {
+        let src = "fn f() { m.lock().expect(\"poisoned\"); // era-check: allow(unwrap): poisoned lock is fatal\n}\n";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_census_flags_unsafe_blocks_not_the_forbid_attr() {
+        assert!(lint_lib("#![forbid(unsafe_code)]\n").is_empty());
+        let f = lint_lib("fn f() { unsafe { core::hint::unreachable_unchecked() } }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::UnsafeCode);
+    }
+
+    #[test]
+    fn prose_mentions_of_directives_are_not_directives() {
+        // A doc comment *describing* the hot marker must not arm it.
+        let src = "\
+/// Functions marked `// era-check: hot` must not allocate.
+fn describe() {
+    let v = Vec::new();
+}
+";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn nested_test_mod_tracking_resumes_linting_after_mod_ends() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t(s: &S) { s.read_at(0, buf); }
+    mod inner { fn u(s: &S) { s.read_at(0, buf); } }
+}
+fn real(s: &S) { s.read_at(0, buf); }
+";
+        let f = lint_lib(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+    }
+}

@@ -1,0 +1,171 @@
+//! The `era-check` command-line tool.
+//!
+//! ```text
+//! era-check lint [workspace-root]      # source lints over the workspace
+//! era-check fsck [--deep] <index-dir>  # verify on-disk index artifacts
+//! era-check interleave                 # exhaustive concurrency models
+//! era-check demo-index <dir>           # build a small index (CI fsck prey)
+//! era-check all [workspace-root]       # lint + interleave
+//! ```
+//!
+//! Every subcommand prints its findings and exits non-zero when anything is
+//! wrong, so each maps directly onto a CI step.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use era_check::fsck::{fsck_dir, FsckOptions};
+use era_check::lint::{find_workspace_root, lint_workspace};
+use era_check::models::run_all;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = args.iter().map(String::as_str);
+    match args.next() {
+        Some("lint") => run_lint(args.next().map(PathBuf::from)),
+        Some("fsck") => {
+            let mut deep = false;
+            let mut dir = None;
+            for arg in args {
+                match arg {
+                    "--deep" => deep = true,
+                    other if dir.is_none() => dir = Some(PathBuf::from(other)),
+                    other => return usage(&format!("unexpected argument {other:?}")),
+                }
+            }
+            match dir {
+                Some(dir) => run_fsck(&dir, deep),
+                None => usage("fsck needs an index directory"),
+            }
+        }
+        Some("interleave") => run_interleave(),
+        Some("demo-index") => match args.next() {
+            Some(dir) => run_demo_index(Path::new(dir)),
+            None => usage("demo-index needs a target directory"),
+        },
+        Some("all") => {
+            let root = args.next().map(PathBuf::from);
+            let lint = run_lint(root);
+            let inter = run_interleave();
+            if lint == ExitCode::SUCCESS && inter == ExitCode::SUCCESS {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some(other) => usage(&format!("unknown subcommand {other:?}")),
+        None => usage("missing subcommand"),
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("era-check: {problem}");
+    eprintln!(
+        "usage: era-check lint [root] | fsck [--deep] <dir> | interleave | demo-index <dir> | \
+         all [root]"
+    );
+    ExitCode::FAILURE
+}
+
+fn run_lint(root: Option<PathBuf>) -> ExitCode {
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("cannot determine the working directory");
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("era-check lint: no workspace Cargo.toml above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("era-check lint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!("era-check lint: {} files, {} violation(s)", report.files, report.findings.len());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_fsck(dir: &Path, deep: bool) -> ExitCode {
+    let report = fsck_dir(dir, FsckOptions { deep });
+    for error in &report.errors {
+        println!("{error}");
+    }
+    println!(
+        "era-check fsck: {} artifact(s), {} node(s){}, {} error(s)",
+        report.artifacts,
+        report.nodes_checked,
+        if report.deep { ", deep" } else { "" },
+        report.errors.len()
+    );
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_interleave() -> ExitCode {
+    let mut ok = true;
+    for report in run_all() {
+        let verdict = if report.ok() { "ok" } else { "FAILED" };
+        println!(
+            "era-check interleave: {:<16} sound {:>4} schedules, broken caught: {:<5} [{verdict}]",
+            report.name,
+            report.sound.schedules,
+            !report.broken.passed(),
+        );
+        if let Some(v) = &report.sound.violation {
+            println!("  sound variant violated under {}: {}", v.trace, v.message);
+        }
+        if report.broken.passed() {
+            println!("  broken variant went uncaught: the model proves nothing");
+        }
+        ok &= report.ok();
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_demo_index(dir: &Path) -> ExitCode {
+    // A small deterministic DNA-like text with repeats, so the index has
+    // multiple partitions and non-trivial structure for fsck to chew on.
+    let mut body = Vec::new();
+    for i in 0..2_000usize {
+        body.push(b"ACGT"[(i * 31 + i / 7) % 4]);
+    }
+    let result = era::SuffixIndex::builder()
+        .memory_budget(1 << 20)
+        .packed(true)
+        .build_from_bytes(&body)
+        .and_then(|index| index.save_to_dir(dir));
+    match result {
+        Ok(()) => {
+            println!("era-check demo-index: wrote a packed demo index to {}", dir.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("era-check demo-index: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Concurrency models checked exhaustively under every interleaving.
+//!
+//! Each model is a drastically reduced version of one of the workspace's
+//! real concurrent structures, expressed as [`interleave`] threads (one step
+//! = one atomic action). Every model comes in two variants:
+//!
+//! * the **sound** variant mirrors the synchronization the real code uses
+//!   (a whole mutex-guarded operation, or one atomic read-modify-write, as a
+//!   single step) and must pass under *every* interleaving;
+//! * the **broken** variant splits exactly that atomicity (an unlocked
+//!   read-then-write, a load/increment pair instead of `fetch_add`) and must
+//!   be *caught* — the explorer must find an interleaving whose final state
+//!   violates the invariant.
+//!
+//! The harness ([`run_all`]) fails in **both** directions: a sound model
+//! with a violation means the modelled synchronization is insufficient; a
+//! broken model with *no* violation means the model (or the explorer) is too
+//! weak to catch anything, and its green checkmark is worthless.
+//!
+//! Models:
+//!
+//! * [`cache_counter`] — `CacheStats`-style shared byte counter. Sound:
+//!   `fetch_add`. Broken: load to a register, then store the incremented
+//!   value (the classic lost update).
+//! * [`shard_accounting`] — `BlockCache`'s per-shard `bytes` accounting next
+//!   to the entry list. Sound: the whole insert (entry push + accounting)
+//!   under one lock, as `Shard::insert` does. Broken: accounting read in one
+//!   step, entry+write in another — the drift the `paranoid` feature's
+//!   accounting assert exists to catch.
+//! * [`shared_queue`] — the query engine's worker queue (`AtomicUsize`
+//!   `fetch_add` claiming work items). Sound: claim is one step. Broken:
+//!   split load/increment lets two workers claim the same item.
+
+use interleave::{Model, Outcome, Step};
+
+/// Number of worker threads each model spawns.
+const WORKERS: usize = 2;
+
+/// Shared state of the [`cache_counter`] model.
+#[derive(Default)]
+pub struct CounterState {
+    /// Decoded-byte counter (`CacheStats::decoded_bytes`).
+    pub bytes: u64,
+}
+
+/// `CacheStats`-style monotonic counter: every worker records one 16-byte
+/// insertion.
+pub fn cache_counter(broken: bool) -> Outcome {
+    let mut model = Model::new(CounterState::default);
+    for w in 0..WORKERS {
+        let steps: Vec<Step<CounterState, u64>> = if broken {
+            vec![
+                Box::new(|s: &mut CounterState, reg: &mut u64| *reg = s.bytes),
+                Box::new(|s: &mut CounterState, reg: &mut u64| s.bytes = *reg + 16),
+            ]
+        } else {
+            // One atomic fetch_add, like the real relaxed atomic.
+            vec![Box::new(|s: &mut CounterState, _: &mut u64| s.bytes += 16)]
+        };
+        model = model.thread(format!("w{w}"), steps);
+    }
+    model.check(|s| {
+        let expected = 16 * WORKERS as u64;
+        if s.bytes == expected {
+            Ok(())
+        } else {
+            Err(format!("lost update: counted {} of {expected} inserted bytes", s.bytes))
+        }
+    })
+}
+
+/// Shared state of the [`shard_accounting`] model: a shard's entry sizes
+/// next to its running byte total.
+#[derive(Default)]
+pub struct ShardState {
+    /// Sizes of the live entries (the slot slab).
+    pub entries: Vec<u64>,
+    /// The shard's `bytes` accounting field.
+    pub bytes: u64,
+}
+
+/// `Shard::insert` accounting: entry bookkeeping and the `bytes` total must
+/// move together under the shard lock.
+pub fn shard_accounting(broken: bool) -> Outcome {
+    let mut model = Model::new(ShardState::default);
+    for w in 0..WORKERS {
+        let steps: Vec<Step<ShardState, u64>> = if broken {
+            vec![
+                // Reads the accounting outside the critical section...
+                Box::new(|s: &mut ShardState, reg: &mut u64| *reg = s.bytes),
+                // ...then inserts and writes back the stale-based total.
+                Box::new(|s: &mut ShardState, reg: &mut u64| {
+                    s.entries.push(16);
+                    s.bytes = *reg + 16;
+                }),
+            ]
+        } else {
+            // The whole insert under one lock, as the real Shard does.
+            vec![Box::new(|s: &mut ShardState, _: &mut u64| {
+                s.entries.push(16);
+                s.bytes += 16;
+            })]
+        };
+        model = model.thread(format!("w{w}"), steps);
+    }
+    model.check(|s| {
+        let live: u64 = s.entries.iter().sum();
+        if live == s.bytes {
+            Ok(())
+        } else {
+            Err(format!("accounting drift: {} live bytes vs {} accounted", live, s.bytes))
+        }
+    })
+}
+
+/// Shared state of the [`shared_queue`] model.
+pub struct QueueState {
+    /// The `AtomicUsize` cursor workers claim items from.
+    pub next: usize,
+    /// How many times each work item was executed.
+    pub claimed: Vec<usize>,
+}
+
+/// The query engine's dynamic work queue: each claim must hand out a
+/// distinct item exactly once.
+pub fn shared_queue(broken: bool) -> Outcome {
+    let items = WORKERS; // enough that every worker's claim matters
+    let claim_sound = |s: &mut QueueState, _: &mut usize| {
+        let idx = s.next; // fetch_add: read and bump in one atomic step
+        s.next += 1;
+        if idx < s.claimed.len() {
+            s.claimed[idx] += 1;
+        }
+    };
+    let mut model = Model::new(move || QueueState { next: 0, claimed: vec![0; items] });
+    for w in 0..WORKERS {
+        let steps: Vec<Step<QueueState, usize>> = if broken {
+            vec![
+                Box::new(|s: &mut QueueState, reg: &mut usize| *reg = s.next),
+                Box::new(|s: &mut QueueState, reg: &mut usize| {
+                    s.next = *reg + 1;
+                    if *reg < s.claimed.len() {
+                        s.claimed[*reg] += 1;
+                    }
+                }),
+            ]
+        } else {
+            vec![Box::new(claim_sound)]
+        };
+        model = model.thread(format!("w{w}"), steps);
+    }
+    model.check(|s| match s.claimed.iter().position(|&c| c != 1) {
+        None => Ok(()),
+        Some(i) => Err(format!("work item {i} executed {} times (want exactly 1)", s.claimed[i])),
+    })
+}
+
+/// The outcome of checking one model in both variants.
+#[derive(Debug)]
+pub struct ModelReport {
+    /// The model's name.
+    pub name: &'static str,
+    /// Outcome of the sound variant (must pass).
+    pub sound: Outcome,
+    /// Outcome of the deliberately broken variant (must be caught).
+    pub broken: Outcome,
+}
+
+impl ModelReport {
+    /// Whether this model certifies both directions: the sound variant holds
+    /// under every interleaving AND the broken variant is caught.
+    pub fn ok(&self) -> bool {
+        self.sound.passed() && !self.broken.passed()
+    }
+}
+
+/// Runs every model in both variants.
+pub fn run_all() -> Vec<ModelReport> {
+    vec![
+        ModelReport {
+            name: "cache-counter",
+            sound: cache_counter(false),
+            broken: cache_counter(true),
+        },
+        ModelReport {
+            name: "shard-accounting",
+            sound: shard_accounting(false),
+            broken: shard_accounting(true),
+        },
+        ModelReport {
+            name: "shared-queue",
+            sound: shared_queue(false),
+            broken: shared_queue(true),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sound_variants_pass_every_interleaving() {
+        for report in run_all() {
+            assert!(
+                report.sound.passed(),
+                "{}: sound variant violated: {:?}",
+                report.name,
+                report.sound.violation
+            );
+            assert!(report.sound.schedules > 0);
+        }
+    }
+
+    #[test]
+    fn broken_cache_counter_is_caught() {
+        let outcome = cache_counter(true);
+        let v = outcome.violation.expect("the non-atomic counter must lose an update");
+        assert!(v.message.contains("lost update"), "{}", v.message);
+        // The canonical race: both loads happen before either store.
+        assert_eq!(v.trace, "w0[0] w1[0] w0[1] w1[1]");
+    }
+
+    #[test]
+    fn broken_shard_accounting_is_caught() {
+        let outcome = shard_accounting(true);
+        let v = outcome.violation.expect("split insert/accounting must drift");
+        assert!(v.message.contains("accounting drift"), "{}", v.message);
+    }
+
+    #[test]
+    fn broken_queue_double_claims_and_is_caught() {
+        let outcome = shared_queue(true);
+        let v = outcome.violation.expect("split claim must execute an item twice");
+        assert!(v.message.contains("executed 2 times"), "{}", v.message);
+    }
+
+    #[test]
+    fn harness_fails_when_a_broken_model_goes_uncaught() {
+        // ok() must be false if the "broken" variant sneaks through — a
+        // harness that cannot catch its own seeded bug proves nothing.
+        let fake = ModelReport {
+            name: "fake",
+            sound: cache_counter(false),
+            broken: cache_counter(false), // not actually broken
+        };
+        assert!(!fake.ok());
+        for real in run_all() {
+            assert!(real.ok(), "{} failed the two-sided check", real.name);
+        }
+    }
+}

@@ -98,6 +98,14 @@ pub struct EraConfig {
     /// decoded once instead of once per toucher. Purely a serving knob;
     /// construction scans never use it.
     pub cache_bytes: usize,
+    /// Whether to run the *deep* (text-backed) index validation on every
+    /// build and load: every sub-tree is checked against the text (edge
+    /// labels, leaf suffixes, sibling order) and the partition leaves must
+    /// cover exactly the suffixes `0..text_len`. The cheap structural subset
+    /// is always on for deserialized trees; this flag adds the O(text) rest.
+    /// Costly — meant for debugging, `era-check fsck --deep`, and the CI
+    /// paranoia pass, not the serving path.
+    pub paranoid: bool,
 }
 
 impl Default for EraConfig {
@@ -117,6 +125,7 @@ impl Default for EraConfig {
             min_range: 4,
             packed: false,
             cache_bytes: 16 << 20, // 16 MiB of decoded blocks
+            paranoid: false,
         }
     }
 }

@@ -18,6 +18,8 @@ pub enum EraError {
     Input(String),
     /// I/O error while persisting or loading an index.
     Io(std::io::Error),
+    /// A persisted or constructed index failed validation.
+    Corrupt(String),
 }
 
 impl EraError {
@@ -30,6 +32,11 @@ impl EraError {
     pub fn input(msg: impl Into<String>) -> Self {
         EraError::Input(msg.into())
     }
+
+    /// Creates a corrupt-index error.
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        EraError::Corrupt(msg.into())
+    }
 }
 
 impl fmt::Display for EraError {
@@ -39,6 +46,7 @@ impl fmt::Display for EraError {
             EraError::Store(e) => write!(f, "storage error: {e}"),
             EraError::Input(m) => write!(f, "input error: {m}"),
             EraError::Io(e) => write!(f, "I/O error: {e}"),
+            EraError::Corrupt(m) => write!(f, "corrupt index: {m}"),
         }
     }
 }

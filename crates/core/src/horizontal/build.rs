@@ -19,6 +19,7 @@ pub fn build_subtree(text_len: usize, prepared: &PreparedSubTree) -> SuffixTree 
         .prefix
         .first()
         .copied()
+        // era-check: allow(unwrap): invariant of vertical partitioning
         .expect("vertical partitioning never produces an empty prefix");
     era_suffix_tree::assemble_from_sorted(
         text_len,

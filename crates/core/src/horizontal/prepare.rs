@@ -196,6 +196,7 @@ impl PrepareState {
         PreparedSubTree {
             prefix: self.prefix,
             leaves: self.l,
+            // era-check: allow(unwrap): B is fully defined once preparation finishes
             branching: self.b.into_iter().skip(1).map(|b| b.expect("B fully defined")).collect(),
         }
     }

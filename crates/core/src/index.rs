@@ -101,6 +101,7 @@ impl SuffixIndex {
         match &self.backing {
             TextBacking::Memory(t) => t,
             TextBacking::Store { store, cache } => cache.get_or_init(|| {
+                // era-check: allow(unwrap): the builder just wrote this store
                 Arc::new(store.read_all().expect("materializing the text from its store failed"))
             }),
         }
@@ -187,6 +188,7 @@ impl SuffixIndex {
     /// Thin wrapper over [`Self::engine`]; panics on store I/O failure (use
     /// [`Self::query_batch`] for fallible store-backed querying).
     pub fn contains(&self, pattern: &[u8]) -> bool {
+        // era-check: allow(unwrap): panicking convenience API; try_ variants propagate
         self.engine().contains(pattern).expect("query I/O failed")
     }
 
@@ -195,6 +197,7 @@ impl SuffixIndex {
     /// Thin wrapper over [`Self::engine`]; panics on store I/O failure (use
     /// [`Self::query_batch`] for fallible store-backed querying).
     pub fn count(&self, pattern: &[u8]) -> usize {
+        // era-check: allow(unwrap): panicking convenience API; try_ variants propagate
         self.engine().count(pattern).expect("query I/O failed")
     }
 
@@ -203,6 +206,7 @@ impl SuffixIndex {
     /// Thin wrapper over [`Self::engine`]; panics on store I/O failure (use
     /// [`Self::query_batch`] for fallible store-backed querying).
     pub fn find_all(&self, pattern: &[u8]) -> Vec<usize> {
+        // era-check: allow(unwrap): panicking convenience API; try_ variants propagate
         self.engine().find_all(pattern).expect("query I/O failed")
     }
 
@@ -235,6 +239,20 @@ impl SuffixIndex {
     /// offsets) — a by-product of the lexicographically ordered leaves.
     pub fn suffix_array(&self) -> Vec<u32> {
         self.tree.lexicographic_suffixes()
+    }
+
+    /// Deep-verifies the index: every sub-tree is validated against the text
+    /// (structure, edge labels, leaf suffixes) and the partition leaves must
+    /// cover exactly the suffixes `0..text_len`.
+    ///
+    /// This is the text-backed check behind [`EraConfig::paranoid`] (and
+    /// `era-check fsck --deep`); it materializes the text of store-backed
+    /// indexes and costs O(text × depth), so it is not part of the ordinary
+    /// serving path. The cheap structural subset runs unconditionally
+    /// whenever a flat tree is deserialized.
+    pub fn verify(&self) -> EraResult<()> {
+        era_suffix_tree::validate_partitioned(&self.tree, self.text())
+            .map_err(|e| EraError::corrupt(e.to_string()))
     }
 
     /// Saves the index (tree + text) into a directory.
@@ -277,12 +295,20 @@ impl SuffixIndex {
     /// the blocks they touch, and the full text is materialized lazily only
     /// if [`Self::text`] is called.
     pub fn load_from_dir(dir: impl AsRef<Path>) -> EraResult<SuffixIndex> {
+        Self::load_from_dir_with(dir, &EraConfig::default())
+    }
+
+    /// [`Self::load_from_dir`] under an explicit configuration: the serving
+    /// cache is sized by [`EraConfig::cache_bytes`], and with
+    /// [`EraConfig::paranoid`] the loaded index is deep-verified against the
+    /// text ([`Self::verify`]) before it is returned.
+    pub fn load_from_dir_with(dir: impl AsRef<Path>, config: &EraConfig) -> EraResult<SuffixIndex> {
         let dir = dir.as_ref();
         let tree = PartitionedSuffixTree::load_from_dir(dir)?;
         let packed_path = dir.join(PACKED_TEXT_FILE);
-        if packed_path.exists() {
+        let index = if packed_path.exists() {
             let store = PackedDiskStore::open(&packed_path, 64 << 10)?;
-            return Ok(SuffixIndex {
+            SuffixIndex {
                 alphabet: store.alphabet().clone(),
                 packed: true,
                 backing: TextBacking::Store { store: Arc::new(store), cache: OnceLock::new() },
@@ -292,21 +318,26 @@ impl SuffixIndex {
                 cache_bytes: 0,
                 block_cache: None,
             }
-            .with_cache_bytes(EraConfig::default().cache_bytes));
+            .with_cache_bytes(config.cache_bytes)
+        } else {
+            let text = std::fs::read(dir.join(TEXT_FILE))?;
+            let alphabet = load_alphabet(dir, &text)?;
+            SuffixIndex {
+                backing: TextBacking::Memory(Arc::new(text)),
+                tree,
+                report: ConstructionReport::default(),
+                separators: Vec::new(),
+                alphabet,
+                packed: false,
+                cache_bytes: 0,
+                block_cache: None,
+            }
+            .with_cache_bytes(config.cache_bytes)
+        };
+        if config.paranoid {
+            index.verify()?;
         }
-        let text = std::fs::read(dir.join(TEXT_FILE))?;
-        let alphabet = load_alphabet(dir, &text)?;
-        Ok(SuffixIndex {
-            backing: TextBacking::Memory(Arc::new(text)),
-            tree,
-            report: ConstructionReport::default(),
-            separators: Vec::new(),
-            alphabet,
-            packed: false,
-            cache_bytes: 0,
-            block_cache: None,
-        }
-        .with_cache_bytes(EraConfig::default().cache_bytes))
+        Ok(index)
     }
 
     /// Opens a saved index *without materializing the text*: the tree loads
@@ -319,6 +350,14 @@ impl SuffixIndex {
     /// `locate` batches touching only the blocks the traversals need, with
     /// the I/O visible in [`QueryResponse::stats`].
     pub fn open_mmapless(dir: impl AsRef<Path>) -> EraResult<SuffixIndex> {
+        Self::open_mmapless_with(dir, &EraConfig::default())
+    }
+
+    /// [`Self::open_mmapless`] under an explicit configuration (cache sizing
+    /// via [`EraConfig::cache_bytes`]; [`EraConfig::paranoid`] deep-verifies
+    /// the opened index — which materializes the text once — before
+    /// returning).
+    pub fn open_mmapless_with(dir: impl AsRef<Path>, config: &EraConfig) -> EraResult<SuffixIndex> {
         let dir = dir.as_ref();
         let tree = PartitionedSuffixTree::load_from_dir(dir)?;
         let packed_path = dir.join(PACKED_TEXT_FILE);
@@ -335,7 +374,7 @@ impl SuffixIndex {
                 let store = DiskStore::open(&text_path, alphabet.clone(), 64 << 10)?;
                 (Arc::new(store), alphabet, false)
             };
-        Ok(SuffixIndex {
+        let index = SuffixIndex {
             backing: TextBacking::Store { store, cache: OnceLock::new() },
             tree,
             report: ConstructionReport::default(),
@@ -345,7 +384,11 @@ impl SuffixIndex {
             cache_bytes: 0,
             block_cache: None,
         }
-        .with_cache_bytes(EraConfig::default().cache_bytes))
+        .with_cache_bytes(config.cache_bytes);
+        if config.paranoid {
+            index.verify()?;
+        }
+        Ok(index)
     }
 }
 
@@ -461,6 +504,14 @@ impl SuffixIndexBuilder {
     /// see [`EraConfig::cache_bytes`].
     pub fn cache_bytes(mut self, bytes: usize) -> Self {
         self.config.cache_bytes = bytes;
+        self
+    }
+
+    /// Enables the deep (text-backed) validation pass on the finished build:
+    /// the constructed index is run through [`SuffixIndex::verify`] before it
+    /// is returned. See [`EraConfig::paranoid`].
+    pub fn paranoid(mut self, enabled: bool) -> Self {
+        self.config.paranoid = enabled;
         self
     }
 
@@ -589,7 +640,7 @@ impl SuffixIndexBuilder {
             SchedulerKind::Auto | SchedulerKind::Serial => construct_serial(store, &self.config)?,
         };
         let text = store.read_all()?;
-        Ok(SuffixIndex {
+        let index = SuffixIndex {
             backing: TextBacking::Memory(Arc::new(text)),
             tree,
             report,
@@ -599,7 +650,11 @@ impl SuffixIndexBuilder {
             cache_bytes: 0,
             block_cache: None,
         }
-        .with_cache_bytes(self.config.cache_bytes))
+        .with_cache_bytes(self.config.cache_bytes);
+        if self.config.paranoid {
+            index.verify()?;
+        }
+        Ok(index)
     }
 }
 
@@ -672,6 +727,51 @@ mod tests {
         assert_eq!(loaded.find_all(b"abra"), index.find_all(b"abra"));
         assert_eq!(loaded.count(b"a"), index.count(b"a"));
         assert_eq!(loaded.alphabet().symbols(), index.alphabet().symbols());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn paranoid_load_rejects_text_inconsistent_index() {
+        // A flipped leaf suffix is structurally valid (the cheap always-on
+        // pass cannot see it), so the default load accepts it — only the
+        // paranoid deep verification catches the lie against the text.
+        let dir = std::env::temp_dir().join(format!("era-index-paranoid-{}", std::process::id()));
+        let index = SuffixIndex::builder()
+            .paranoid(true) // deep-verifies the fresh build too
+            .build_from_bytes(b"GATTACAGATTACA")
+            .unwrap();
+        index.save_to_dir(&dir).unwrap();
+
+        let text_len = index.text().len() as u32;
+        let mut flipped = false;
+        'parts: for i in 0.. {
+            let part = dir.join(format!("part-{i:05}.st"));
+            if !part.exists() {
+                break;
+            }
+            let mut bytes = std::fs::read(&part).unwrap();
+            if &bytes[..8] != b"ERAFLAT1" {
+                continue;
+            }
+            for rec in (16..bytes.len()).step_by(16) {
+                let meta = u32::from_le_bytes(bytes[rec + 12..rec + 16].try_into().unwrap());
+                let payload = u32::from_le_bytes(bytes[rec + 8..rec + 12].try_into().unwrap());
+                if meta & (1 << 31) != 0 && payload ^ 1 < text_len {
+                    bytes[rec + 8] ^= 1; // leaf now claims a neighboring suffix
+                    std::fs::write(&part, &bytes).unwrap();
+                    flipped = true;
+                    break 'parts;
+                }
+            }
+        }
+        assert!(flipped, "no mutable leaf record found");
+
+        assert!(SuffixIndex::load_from_dir(&dir).is_ok(), "shallow load must still accept it");
+        let config = EraConfig { paranoid: true, ..EraConfig::default() };
+        match SuffixIndex::load_from_dir_with(&dir, &config) {
+            Err(EraError::Corrupt(_)) => {}
+            other => panic!("paranoid load must report corruption, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -126,6 +126,8 @@
 //!   points of §4/§5, now thin wrappers over the pipeline.
 //! * [`SuffixIndex`] — the user-facing API combining construction and queries.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

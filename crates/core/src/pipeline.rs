@@ -296,6 +296,7 @@ impl GroupScheduler for SharedMemoryScheduler<'_> {
                     })
                 })
                 .collect();
+            // era-check: allow(unwrap): a panicked worker cannot be recovered from
             handles.into_iter().map(|h| h.join().expect("worker thread must not panic")).collect()
         });
 
@@ -379,6 +380,7 @@ impl<'a> SharedNothingScheduler<'a> {
         let mut assignments: Vec<Vec<VirtualTree>> = vec![Vec::new(); nodes];
         let mut load = vec![0u64; nodes];
         for group in order {
+            // era-check: allow(unwrap): node count is validated positive
             let target = (0..nodes).min_by_key(|&n| load[n]).expect("at least one node");
             load[target] += group.total_frequency().max(1);
             assignments[target].push(group.clone());
@@ -428,6 +430,7 @@ impl GroupScheduler for SharedNothingScheduler<'_> {
             std::thread::scope(|scope| {
                 let handles: Vec<_> =
                     (0..nodes).map(|node| scope.spawn(move || run_node(node))).collect();
+                // era-check: allow(unwrap): a panicked worker cannot be recovered from
                 handles.into_iter().map(|h| h.join().expect("node thread must not panic")).collect()
             })
         } else {

@@ -461,6 +461,7 @@ impl<'a> QueryEngine<'a> {
                     .collect();
                 handles
                     .into_iter()
+                    // era-check: allow(unwrap): a panicked worker cannot be recovered from
                     .map(|h| h.join().expect("query worker must not panic"))
                     .collect()
             });
@@ -476,6 +477,21 @@ impl<'a> QueryEngine<'a> {
                 partials
             })
             .collect();
+        #[cfg(feature = "paranoid")]
+        {
+            // Every routed (partition, query) visit must come back as exactly
+            // one partial — a worker dropping or double-reporting work would
+            // silently skew answers and the stats alike.
+            let produced: usize = partials.iter().map(Vec::len).sum();
+            debug_assert_eq!(
+                produced, visits,
+                "workers returned {produced} partials for {visits} routed partition visits"
+            );
+            debug_assert!(
+                cache_activity.hits + cache_activity.misses == 0 || self.cache.is_some(),
+                "cache activity reported without an attached cache"
+            );
+        }
 
         // --- Merge the per-partition partials back into per-query answers,
         // in submission order. ---

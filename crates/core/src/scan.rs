@@ -157,6 +157,7 @@ impl<'p> MultiPatternMatcher<'p> {
         if stretch.len() - i < LANES {
             return self.verify_candidates(group, base, stretch, i, out);
         }
+        // era-check: allow(unwrap): slice length is exactly LANES
         let window = u64::from_le_bytes(stretch[i..i + LANES].try_into().unwrap());
         for &(word, mask, pi) in &group.short {
             if window & mask == word {
@@ -184,6 +185,7 @@ impl<'p> MultiPatternMatcher<'p> {
             let broadcast = u64::from(group.first) * LANE_LO;
             let mut i = 0usize;
             while i + LANES <= positions {
+                // era-check: allow(unwrap): slice length is exactly LANES
                 let word = u64::from_le_bytes(stretch[i..i + LANES].try_into().unwrap());
                 let mut hits = zero_lanes(word ^ broadcast);
                 while hits != 0 {

@@ -85,6 +85,7 @@ pub fn vertical_partition(
     let mut scans = 0usize;
 
     while !working.is_empty() {
+        // era-check: allow(unwrap): working set is non-empty by loop guard
         let window_len = working.iter().map(|p| p.len()).max().expect("non-empty working set");
         let mut counts: HashMap<Vec<u8>, u64> = working.iter().cloned().map(|p| (p, 0)).collect();
 
@@ -113,6 +114,7 @@ pub fn vertical_partition(
             } else {
                 // Extend by every symbol (including the terminal, so that the
                 // suffix equal to `prefix$` keeps a home partition).
+                // era-check: allow(unwrap): prefixes are non-empty by construction
                 debug_assert_ne!(*prefix.last().expect("non-empty"), TERMINAL);
                 for &s in &symbols_with_terminal {
                     let mut extended = Vec::with_capacity(prefix.len() + 1);

@@ -249,6 +249,21 @@ impl Shard {
             self.free.push(victim);
             evicted += 1;
         }
+        #[cfg(feature = "paranoid")]
+        {
+            let live: usize = self.map.values().map(|&s| self.slots[s].data.len()).sum();
+            debug_assert_eq!(
+                live, self.bytes,
+                "shard byte accounting drifted from the live slot contents"
+            );
+            debug_assert!(
+                self.bytes <= capacity || self.map.len() == 1,
+                "shard holds {} bytes over its {} capacity with {} entries",
+                self.bytes,
+                capacity,
+                self.map.len()
+            );
+        }
         evicted
     }
 }
@@ -324,6 +339,7 @@ impl BlockCache {
     /// global hit rate degrades visibly instead of masking the
     /// misconfiguration while every lookup actually reaches the store.
     pub fn get(&self, block: u64, expected_len: usize) -> Option<Arc<[u8]>> {
+        // era-check: allow(unwrap): poisoned lock is unrecoverable
         let found = self.shard(block).lock().expect("block cache shard poisoned").get(block);
         match found {
             Some(data) if data.len() == expected_len => {
@@ -341,6 +357,7 @@ impl BlockCache {
     /// stay under the capacity bound. Returns how many blocks were evicted.
     pub fn insert(&self, block: u64, data: Arc<[u8]>) -> u64 {
         let bytes = data.len() as u64;
+        // era-check: allow(unwrap): poisoned lock is unrecoverable
         let evicted = self.shard(block).lock().expect("block cache shard poisoned").insert(
             block,
             data,
@@ -353,17 +370,20 @@ impl BlockCache {
 
     /// Number of blocks currently cached.
     pub fn entries(&self) -> usize {
+        // era-check: allow(unwrap): poisoned lock is unrecoverable
         self.shards.iter().map(|s| s.lock().expect("block cache shard poisoned").map.len()).sum()
     }
 
     /// Decoded bytes currently cached.
     pub fn bytes(&self) -> usize {
+        // era-check: allow(unwrap): poisoned lock is unrecoverable
         self.shards.iter().map(|s| s.lock().expect("block cache shard poisoned").bytes).sum()
     }
 
     /// Drops every cached block (counters are not reset).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
+            // era-check: allow(unwrap): poisoned lock is unrecoverable
             let mut s = shard.lock().expect("block cache shard poisoned");
             *s = Shard::new();
         }

@@ -148,6 +148,7 @@ impl StringStore for DiskStore {
             return Ok(0);
         }
         {
+            // era-check: allow(unwrap): poisoned lock is unrecoverable
             let mut file = self.file.lock().expect("disk store file lock poisoned");
             file.seek(SeekFrom::Start(pos as u64))?;
             file.read_exact(&mut buf[..take])?;

@@ -48,6 +48,8 @@
 //! * [`packed`] — the word-level 2-bit / 5-bit symbol codec underneath the
 //!   packed stores.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -19,8 +19,12 @@ use crate::alphabet::{Alphabet, TERMINAL};
 use crate::error::{StoreError, StoreResult};
 
 /// Number of bytes needed to store `len` symbols at `bits` bits per symbol.
+///
+/// Computed in 128-bit arithmetic so hostile header values (a corrupt
+/// on-disk length) cannot overflow — callers validating untrusted input rely
+/// on this never panicking.
 pub fn packed_size(len: usize, bits: u32) -> usize {
-    ((len as u64 * bits as u64).div_ceil(8)) as usize
+    ((len as u128 * bits as u128).div_ceil(8)) as usize
 }
 
 /// The symbol ⇄ code mapping of one alphabet, with word-level pack/unpack.
@@ -124,6 +128,7 @@ impl PackedCodec {
             if byte + 8 > data.len() {
                 break;
             }
+            // era-check: allow(unwrap): slice length is exactly 8
             let word = u64::from_le_bytes(data[byte..byte + 8].try_into().expect("8 bytes"));
             let mut w = word >> (bit & 7);
             let mut avail = 64 - (bit & 7);

@@ -297,6 +297,7 @@ fn parse_header(file: &mut File, file_len: u64) -> StoreResult<ParsedHeader> {
     }
     let bits = fixed[6] as u32;
     let alen = fixed[7] as usize;
+    // era-check: allow(unwrap): slice length is exactly 8
     let len = u64::from_le_bytes(fixed[8..16].try_into().expect("8 bytes")) as usize;
     if len == 0 {
         return Err(StoreError::InvalidText("packed file holds an empty string".into()));
@@ -320,8 +321,10 @@ fn parse_header(file: &mut File, file_len: u64) -> StoreResult<ParsedHeader> {
         )));
     }
     let payload_offset = (HEADER_FIXED + alen) as u64;
-    let expected = payload_offset + packed_size(len - 1, bits) as u64;
-    if file_len != expected {
+    // Exact 128-bit length check: `len` is untrusted, and a truncating cast
+    // here could let a hostile length alias the real file size.
+    let expected = payload_offset as u128 + ((len as u128 - 1) * bits as u128).div_ceil(8);
+    if file_len as u128 != expected {
         return Err(StoreError::InvalidText(format!(
             "packed file is {file_len} bytes, header implies {expected}"
         )));
@@ -584,6 +587,7 @@ impl StringStore for PackedDiskStore {
                 let start = pos + done;
                 let to_boundary = chunk_symbols - (start % chunk_symbols);
                 let n = to_boundary.min(body_count - done);
+                // era-check: allow(unwrap): n was checked positive above
                 let (clo, chi) = packed_span(start, n, self.codec.bits()).expect("n is positive");
                 // The file mutex guards only the seek + read; the packed
                 // bytes land in a per-thread scratch buffer and are decoded
@@ -597,6 +601,7 @@ impl StringStore for PackedDiskStore {
                     }
                     let span_buf = &mut scratch[..want];
                     {
+                        // era-check: allow(unwrap): poisoned lock is unrecoverable
                         let mut file = self.file.lock().expect("packed store file lock poisoned");
                         file.seek(SeekFrom::Start(self.payload_offset + clo as u64))?;
                         file.read_exact(span_buf)?;

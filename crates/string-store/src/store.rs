@@ -89,6 +89,7 @@ pub trait StringStore: Send + Sync {
         }
         let take = len.min(self.len() - pos);
         let mut buf = vec![0u8; take];
+        // era-check: allow(raw-read): read_exact_at is itself part of the store seam
         let got = self.read_at(pos, &mut buf)?;
         buf.truncate(got);
         Ok(buf)
@@ -134,6 +135,7 @@ impl<T: StringStore + ?Sized> StringStore for &T {
         (**self).stats()
     }
     fn read_at(&self, pos: usize, buf: &mut [u8]) -> StoreResult<usize> {
+        // era-check: allow(raw-read): blanket forwarding impl of the trait method
         (**self).read_at(pos, buf)
     }
     fn read_cost(&self, pos: usize, take: usize) -> (u64, u64) {
@@ -161,6 +163,7 @@ impl<T: StringStore + ?Sized> StringStore for std::sync::Arc<T> {
         (**self).stats()
     }
     fn read_at(&self, pos: usize, buf: &mut [u8]) -> StoreResult<usize> {
+        // era-check: allow(raw-read): blanket forwarding impl of the trait method
         (**self).read_at(pos, buf)
     }
     fn read_cost(&self, pos: usize, take: usize) -> (u64, u64) {

@@ -13,6 +13,7 @@ pub fn suffix_array(text: &[u8]) -> Vec<u32> {
     if n == 0 {
         return Vec::new();
     }
+    // era-check: allow(unwrap): inside debug_assert on a checked-non-empty text
     debug_assert_eq!(*text.last().unwrap(), 0, "text must end with the terminal byte");
 
     // Initial ranks = byte values.

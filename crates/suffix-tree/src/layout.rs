@@ -38,6 +38,11 @@ pub const FLAT_NODE_BYTES: usize = std::mem::size_of::<FlatNode>();
 const LEAF_BIT: u32 = 1 << 31;
 const CHILDREN_LEN_MASK: u32 = 0xFFFF;
 const FIRST_CHAR_SHIFT: u32 = 16;
+/// Meta-word bits not covered by the leaf tag, the packed first character, or
+/// the child count. The writer never sets them and validation requires them to
+/// be zero, so single-bit corruption cannot hide in slack bits.
+pub(crate) const RESERVED_META_MASK: u32 =
+    !(LEAF_BIT | (0xFF << FIRST_CHAR_SHIFT) | CHILDREN_LEN_MASK);
 
 /// One 16-byte record of a [`FlatTree`] arena.
 ///
@@ -160,6 +165,17 @@ impl FlatTree {
                         FlatNode::leaf(src.start, src.end, src.first_char, *suffix);
                 }
                 NodeData::Internal { children } => {
+                    // Child blocks are laid out in construction-child order;
+                    // binary-search dispatch over the block is only sound if
+                    // that order is strictly increasing by first character.
+                    #[cfg(feature = "paranoid")]
+                    assert!(
+                        children
+                            .windows(2)
+                            .all(|w| tree.node(w[0]).first_char < tree.node(w[1]).first_char),
+                        "freeze: children of construction node {old} are not strictly \
+                         ordered by first character"
+                    );
                     let start = next_free;
                     next_free += children.len() as u32;
                     nodes[new as usize] = FlatNode::internal(
@@ -224,17 +240,17 @@ impl FlatTree {
         (n.start, n.end, n.payload, n.meta)
     }
 
-    /// Whether every child range stays inside the arena and never claims the
-    /// root (overflow-safe; used when deserializing untrusted bytes).
-    pub(crate) fn child_ranges_in_bounds(&self) -> bool {
-        let n = self.nodes.len() as u64;
-        self.nodes.iter().all(|node| {
-            if node.is_leaf() {
-                return true;
-            }
-            let len = u64::from(node.meta & CHILDREN_LEN_MASK);
-            len == 0 || (node.payload > 0 && u64::from(node.payload) + len <= n)
-        })
+    /// The raw child-count bits of node `id`'s meta word — reported even for
+    /// leaves, whose count [`FlatNode::children_range`] hides. Validation
+    /// uses this to reject leaf records smuggling a non-zero count.
+    pub(crate) fn raw_children_len(&self, id: u32) -> u32 {
+        self.nodes[id as usize].meta & CHILDREN_LEN_MASK
+    }
+
+    /// The raw payload word of node `id` (suffix offset for leaves, first
+    /// child id for internal nodes), for overflow-safe bounds validation.
+    pub(crate) fn raw_payload(&self, id: u32) -> u32 {
+        self.nodes[id as usize].payload
     }
 
     /// The root node id (always 0).
@@ -280,6 +296,7 @@ impl FlatTree {
 
     /// Looks up the child of `id` whose incoming edge starts with `c`: a
     /// binary search over the node's contiguous child run.
+    // era-check: hot
     pub fn child_starting_with(&self, id: NodeId, c: u8) -> Option<NodeId> {
         let range = self.node(id).children_range();
         let slice = &self.nodes[range.start as usize..range.end as usize];
@@ -342,6 +359,7 @@ impl FlatTree {
     }
 
     /// Matches as much of `pattern` as possible along the edge into `child`.
+    // era-check: hot
     fn match_edge<T: TextSource + ?Sized>(
         &self,
         text: &T,
@@ -365,6 +383,7 @@ impl FlatTree {
 
     /// Matches `pattern` from the root, comparing edge labels against `text`.
     pub fn match_pattern(&self, text: &[u8], pattern: &[u8]) -> MatchResult {
+        // era-check: allow(unwrap): infallible byte-slice text source
         self.try_match_pattern(text, pattern).expect("byte-slice text sources cannot fail")
     }
 
@@ -398,6 +417,7 @@ impl FlatTree {
     /// All occurrence positions of `pattern`, in lexicographic order of the
     /// suffixes that start with it.
     pub fn find_all(&self, text: &[u8], pattern: &[u8]) -> Vec<u32> {
+        // era-check: allow(unwrap): infallible byte-slice text source
         self.try_find_all(text, pattern).expect("byte-slice text sources cannot fail")
     }
 
@@ -422,6 +442,7 @@ impl FlatTree {
 
     /// Number of occurrences of `pattern`.
     pub fn count(&self, text: &[u8], pattern: &[u8]) -> usize {
+        // era-check: allow(unwrap): infallible byte-slice text source
         self.try_count(text, pattern).expect("byte-slice text sources cannot fail")
     }
 

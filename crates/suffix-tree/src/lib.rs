@@ -37,6 +37,8 @@
 //!   sub-trees on disk: `ERAFLAT1` (16 bytes/node, the serving default) plus
 //!   the legacy `ERASTRE1` construction-form layout, which still loads.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
@@ -64,5 +66,6 @@ pub use tree::SuffixTree;
 // dependency to name the text abstraction the `try_*` methods traverse.
 pub use era_string_store::{StoreTextSource, TextSource};
 pub use validate::{
-    validate_flat_tree, validate_partitioned, validate_suffix_tree, ValidationError,
+    validate_flat_structure, validate_flat_tree, validate_partitioned, validate_suffix_tree,
+    ValidationError,
 };

@@ -247,6 +247,7 @@ impl PartitionedSuffixTree {
 
     /// Whether `pattern` occurs in the text.
     pub fn contains(&self, text: &[u8], pattern: &[u8]) -> bool {
+        // era-check: allow(unwrap): infallible byte-slice text source
         self.try_contains(text, pattern).expect("byte-slice text sources cannot fail")
     }
 
@@ -268,6 +269,7 @@ impl PartitionedSuffixTree {
 
     /// Number of occurrences of `pattern`.
     pub fn count(&self, text: &[u8], pattern: &[u8]) -> usize {
+        // era-check: allow(unwrap): infallible byte-slice text source
         self.try_count(text, pattern).expect("byte-slice text sources cannot fail")
     }
 
@@ -293,6 +295,7 @@ impl PartitionedSuffixTree {
 
     /// All occurrence positions of `pattern` (in ascending position order).
     pub fn find_all(&self, text: &[u8], pattern: &[u8]) -> Vec<u32> {
+        // era-check: allow(unwrap): infallible byte-slice text source
         self.try_find_all(text, pattern).expect("byte-slice text sources cannot fail")
     }
 
@@ -377,6 +380,7 @@ impl PartitionedSuffixTree {
     /// Match a pattern and report the sub-tree node(s); mostly useful for
     /// diagnostics and tests.
     pub fn match_in_partitions(&self, text: &[u8], pattern: &[u8]) -> Vec<(usize, MatchResult)> {
+        // era-check: allow(unwrap): infallible byte-slice text source
         self.try_match_in_partitions(text, pattern).expect("byte-slice text sources cannot fail")
     }
 }

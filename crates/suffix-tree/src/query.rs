@@ -95,6 +95,7 @@ impl SuffixTree {
 
     /// Matches `pattern` from the root, comparing edge labels against `text`.
     pub fn match_pattern(&self, text: &[u8], pattern: &[u8]) -> MatchResult {
+        // era-check: allow(unwrap): infallible byte-slice text source
         self.try_match_pattern(text, pattern).expect("byte-slice text sources cannot fail")
     }
 
@@ -153,6 +154,7 @@ impl SuffixTree {
     /// suffixes** that start with it — *not* ascending position order. Use
     /// [`Self::find_all_sorted`] for ascending positions.
     pub fn find_all(&self, text: &[u8], pattern: &[u8]) -> Vec<u32> {
+        // era-check: allow(unwrap): infallible byte-slice text source
         self.try_find_all(text, pattern).expect("byte-slice text sources cannot fail")
     }
 
@@ -177,6 +179,7 @@ impl SuffixTree {
 
     /// Number of occurrences of `pattern`.
     pub fn count(&self, text: &[u8], pattern: &[u8]) -> usize {
+        // era-check: allow(unwrap): infallible byte-slice text source
         self.try_count(text, pattern).expect("byte-slice text sources cannot fail")
     }
 

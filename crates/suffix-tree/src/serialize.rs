@@ -135,8 +135,10 @@ pub fn write_flat_tree<W: Write>(w: &mut W, tree: &FlatTree) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a flat tree previously written with [`write_flat_tree`], validating
-/// that every child range stays inside the arena.
+/// Reads a flat tree previously written with [`write_flat_tree`], running the
+/// full structural validation pass ([`crate::validate::validate_flat_structure`])
+/// on the untrusted bytes: child-range bounds and non-overlap, reachability
+/// from the root, sibling ordering and leaf/meta-word consistency.
 pub fn read_flat_tree<R: Read>(r: &mut R) -> io::Result<FlatTree> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
@@ -162,12 +164,13 @@ fn read_flat_tree_body<R: Read>(r: &mut R) -> io::Result<FlatTree> {
         nodes.push(FlatNode::from_raw(start, end, payload, meta));
     }
     let tree = FlatTree::from_raw_parts(text_len, nodes);
-    if !tree.child_ranges_in_bounds() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "flat tree child range out of bounds",
-        ));
-    }
+    // The cheap structural subset of `validate_flat_tree` is always on for
+    // untrusted bytes: a corrupt part file must error at load time, not
+    // serve wrong answers (or panic) at query time. The text-backed deep
+    // checks stay behind `EraConfig::paranoid` / `era-check fsck --deep`.
+    crate::validate::validate_flat_structure(&tree).map_err(|e| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("corrupt flat tree: {e}"))
+    })?;
     Ok(tree)
 }
 
@@ -196,6 +199,7 @@ impl SuffixTree {
     /// Serialized size in bytes (without writing anywhere).
     pub fn serialized_size(&self) -> usize {
         let mut counter = CountingWriter::default();
+        // era-check: allow(unwrap): counting writer never errors
         write_tree(&mut counter, self).expect("counting writer cannot fail");
         counter.bytes
     }

@@ -43,6 +43,21 @@ pub enum ValidationError {
     },
     /// An edge label range is out of bounds of the text.
     EdgeOutOfBounds(NodeId),
+    /// A flat node's child range leaves the arena or claims the root.
+    ChildRangeOutOfBounds(NodeId),
+    /// A flat node is claimed as a child by more than one parent.
+    ChildRangeOverlap(NodeId),
+    /// A flat node (other than the root) is claimed by no parent at all.
+    UnreachableNode(NodeId),
+    /// A flat leaf record carries a non-zero child count in its meta word.
+    LeafMetaInconsistent(NodeId),
+    /// The root record of a flat arena is tagged as a leaf.
+    RootIsLeaf,
+    /// A flat node's meta word has reserved (unused) bits set.
+    ReservedMetaBits(NodeId),
+    /// The root record's unused fields (edge offsets, cached first character)
+    /// are not zero.
+    RootRecordNotCanonical,
 }
 
 impl fmt::Display for ValidationError {
@@ -69,6 +84,25 @@ impl fmt::Display for ValidationError {
             }
             ValidationError::EdgeOutOfBounds(n) => {
                 write!(f, "edge label of node {n} is out of text bounds")
+            }
+            ValidationError::ChildRangeOutOfBounds(n) => {
+                write!(f, "child range of node {n} leaves the arena or claims the root")
+            }
+            ValidationError::ChildRangeOverlap(n) => {
+                write!(f, "node {n} is claimed as a child by more than one parent")
+            }
+            ValidationError::UnreachableNode(n) => {
+                write!(f, "node {n} is not reachable from the root")
+            }
+            ValidationError::LeafMetaInconsistent(n) => {
+                write!(f, "leaf {n} carries a non-zero child count in its meta word")
+            }
+            ValidationError::RootIsLeaf => write!(f, "the root record is tagged as a leaf"),
+            ValidationError::ReservedMetaBits(n) => {
+                write!(f, "meta word of node {n} has reserved bits set")
+            }
+            ValidationError::RootRecordNotCanonical => {
+                write!(f, "root record's unused edge/first-char fields are not zero")
             }
         }
     }
@@ -139,20 +173,106 @@ pub fn validate_suffix_tree(
     Ok(())
 }
 
+/// Validates the *structural* invariants of a flat arena without touching the
+/// text: the cheap subset of [`validate_flat_tree`] that deserialization runs
+/// on every `ERAFLAT1` load (`era-check fsck` runs it too, then adds the
+/// text-backed deep checks).
+///
+/// Checked, in O(nodes) time and O(nodes) scratch:
+///
+/// * the arena is non-empty and node 0 (the root) is not a leaf;
+/// * every child range stays inside the arena and never claims the root;
+/// * the child ranges are disjoint and cover every non-root node exactly
+///   once — equivalently, every node is reachable from the root and the
+///   arena encodes a tree, not a DAG or a forest;
+/// * every leaf's meta word carries a zero child count (the count bits share
+///   the word with the leaf tag, so a corrupted tag would otherwise smuggle
+///   in a bogus child range);
+/// * children are strictly ordered by their cached `first_char`, so the
+///   binary-search child dispatch is sound;
+/// * every non-root node has a non-empty edge range with `end` within the
+///   recorded text length, and internal non-root nodes have at least two
+///   children;
+/// * no record sets reserved meta-word bits, and the root's unused fields
+///   (edge offsets, first-char cache) are zero — every bit of every record
+///   is load-bearing, so no single-bit corruption can go undetected.
+pub fn validate_flat_structure(tree: &FlatTree) -> Result<(), ValidationError> {
+    let n = tree.node_count();
+    let root = tree.root();
+    if tree.node(root).is_leaf() {
+        return Err(ValidationError::RootIsLeaf);
+    }
+    // The root's edge fields and first-char cache are unused by every reader;
+    // requiring them to be zero (as the writer emits them) keeps every bit of
+    // the record load-bearing, so single-bit corruption cannot hide in them.
+    {
+        let (start, end, _, _) = tree.raw_node(root);
+        if start != 0 || end != 0 || tree.node(root).first_char() != 0 {
+            return Err(ValidationError::RootRecordNotCanonical);
+        }
+    }
+    let text_len = tree.text_len() as u32;
+    let mut claimed = vec![false; n];
+    for id in tree.node_ids() {
+        let node = tree.node(id);
+        if tree.raw_node(id).3 & crate::layout::RESERVED_META_MASK != 0 {
+            return Err(ValidationError::ReservedMetaBits(id));
+        }
+        if node.is_leaf() && tree.raw_children_len(id) != 0 {
+            return Err(ValidationError::LeafMetaInconsistent(id));
+        }
+        if id != root {
+            if node.start >= node.end {
+                return Err(ValidationError::EmptyEdge(id));
+            }
+            if node.end > text_len {
+                return Err(ValidationError::EdgeOutOfBounds(id));
+            }
+            if !node.is_leaf() && tree.raw_children_len(id) < 2 {
+                return Err(ValidationError::UnaryInternalNode(id));
+            }
+        }
+        // Bounds first, on the raw words: `children_range()` adds payload and
+        // count, which must not be allowed to overflow on untrusted bytes.
+        let (len, payload) = (tree.raw_children_len(id), tree.raw_payload(id));
+        let claims_children = !node.is_leaf() && len > 0;
+        if claims_children && (payload == 0 || u64::from(payload) + u64::from(len) > n as u64) {
+            return Err(ValidationError::ChildRangeOutOfBounds(id));
+        }
+        let mut prev: Option<u8> = None;
+        for c in node.children_range() {
+            if claimed[c as usize] {
+                return Err(ValidationError::ChildRangeOverlap(c));
+            }
+            claimed[c as usize] = true;
+            let fc = tree.node(c).first_char();
+            if let Some(p) = prev {
+                if fc <= p {
+                    return Err(ValidationError::SiblingOrder(id));
+                }
+            }
+            prev = Some(fc);
+        }
+    }
+    if let Some(orphan) = claimed.iter().skip(1).position(|&c| !c) {
+        return Err(ValidationError::UnreachableNode(orphan as NodeId + 1));
+    }
+    Ok(())
+}
+
 /// Validates a flat serving-layout tree against the text.
 ///
-/// The flat arena is checked on its own terms first (child ranges in bounds,
-/// never claiming the root), then thawed — the id-preserving inverse of the
-/// freeze — and run through [`validate_suffix_tree`], so both the layout
-/// encoding and the structural suffix-tree invariants are certified.
+/// The flat arena is checked on its own terms first
+/// ([`validate_flat_structure`]: bounds, non-overlap, reachability, sibling
+/// order, leaf/meta consistency), then thawed — the id-preserving inverse of
+/// the freeze — and run through [`validate_suffix_tree`], so both the layout
+/// encoding and the text-backed suffix-tree invariants are certified.
 pub fn validate_flat_tree(
     tree: &FlatTree,
     text: &[u8],
     expected_leaves: Option<usize>,
 ) -> Result<(), ValidationError> {
-    if !tree.child_ranges_in_bounds() {
-        return Err(ValidationError::EdgeOutOfBounds(tree.root()));
-    }
+    validate_flat_structure(tree)?;
     validate_suffix_tree(&tree.thaw(), text, expected_leaves)
 }
 

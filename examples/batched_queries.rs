@@ -5,6 +5,9 @@
 //! cargo run --release -p era-examples --example batched_queries
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use era::{Query, QueryBatch, QueryResponse, SuffixIndex};
 use era_workloads::genome_like;
 

@@ -9,6 +9,9 @@
 //! cargo run --release -p era-examples --bin genome_index -- [length_kib] [memory_kib]
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use era::{EraConfig, SuffixIndex};
 use era_examples::{print_report, printable};
 use era_string_store::Alphabet;

@@ -15,6 +15,9 @@
 //!   contains/count/locate batch answered through the `QueryEngine` from a
 //!   raw and a packed on-disk store, without materializing the text.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use era::ConstructionReport;
 
 /// Pretty-prints a construction report.

@@ -5,6 +5,9 @@
 //! cargo run --release -p era-examples --bin parallel_build -- [length_kib]
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use std::time::Instant;
 
 use era::{construct_parallel_sm, construct_shared_nothing, EraConfig, SharedNothingOptions};

@@ -5,6 +5,9 @@
 //! cargo run --release -p era-examples --bin pattern_mining
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use std::collections::BTreeMap;
 
 use era::SuffixIndex;

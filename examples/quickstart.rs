@@ -4,6 +4,9 @@
 //! cargo run --release -p era-examples --bin quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use era::SuffixIndex;
 use era_examples::{print_report, printable};
 

@@ -1,5 +1,8 @@
 //! Shared helpers for the cross-crate integration and property tests.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use era_string_store::{Alphabet, InMemoryStore};
 use era_suffix_tree::{naive_suffix_tree, PartitionedSuffixTree, SuffixTree};
 
