@@ -1,0 +1,928 @@
+//! Item extraction and the workspace call graph.
+//!
+//! This sits between the lexer ([`crate::lex`]) and the rules
+//! ([`crate::lint`]): it walks one file's token stream tracking `mod` /
+//! `impl` / `fn` scoping and produces, per function, the *events* the rules
+//! reason about —
+//!
+//! - **call sites** (plain `helper(…)`, qualified `Type::helper(…)`, method
+//!   `.helper(…)` — turbofish tolerated), which become the edges of the
+//!   workspace call graph;
+//! - **allocation sites** (`Vec::…`/`Box::…`/`String::…` constructors,
+//!   `.to_vec()`, `.collect()`, `vec!`/`format!`), the sinks of the
+//!   hot-transitive-alloc rule;
+//! - **panic sites** (`.unwrap()`, `.expect(…)`, `panic!`-family macros, and
+//!   `x[i]` indexing without `get`), the sinks of the panic-path rule;
+//! - **lock acquisitions** (`.lock()`/`.read()`/`.write()` on a receiver
+//!   whose field is declared `Mutex<…>`/`RwLock<…>` somewhere in the
+//!   workspace), each recorded with the set of lock classes already *held*
+//!   at that point, for the lock-order rule.
+//!
+//! Held-lock tracking is lexical: a guard bound by a `let` lives to the end
+//! of its enclosing block, a temporary guard (`m.lock().…;`) to the end of
+//! its statement. `drop(guard)` is not modelled — the over-approximation can
+//! only make the lock-order rule stricter, never blinder.
+//!
+//! Function bodies under `#[cfg(test)]` (or `#[test]`) are extracted but
+//! marked, so the rules can skip them and the graph never routes a hot-path
+//! chain through test code.
+//!
+//! The extractor is a token-level approximation, not a type checker: method
+//! calls resolve by *name* (any workspace `fn` with that name is a
+//! candidate), and that over-approximation is deliberate — a false edge can
+//! be silenced with a reasoned `// era-check: allow`, while a missed edge
+//! would silently void the hot-path guarantees.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::lex::{Directive, Lexed, TokKind, Token};
+
+/// One function extracted from a file.
+#[derive(Debug)]
+pub struct FnInfo {
+    /// Bare function name (`insert`).
+    pub name: String,
+    /// Qualified name (`BlockCache::insert`), or the bare name for free fns.
+    pub qual_name: String,
+    /// The impl/trait type this fn belongs to, if any.
+    pub owner: Option<String>,
+    /// File the fn is declared in (workspace-relative).
+    pub file: PathBuf,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the fn is (inside) `#[cfg(test)]` / `#[test]` code.
+    pub is_test: bool,
+    /// `// era-check: hot` applies.
+    pub hot: bool,
+    /// `// era-check: entry` applies — a serving entry point.
+    pub entry: bool,
+    /// Fn-level `allow(rule)` directives bound to this declaration.
+    pub allows: Vec<String>,
+    /// Calls made from this fn's body.
+    pub calls: Vec<CallSite>,
+    /// Allocation sinks in this fn's body.
+    pub allocs: Vec<Sink>,
+    /// Panic sinks in this fn's body.
+    pub panics: Vec<Sink>,
+    /// Lock acquisitions in this fn's body.
+    pub acquires: Vec<LockSite>,
+}
+
+impl FnInfo {
+    /// Whether a fn-level `allow(rule)` covers this fn.
+    pub fn allows_rule(&self, rule: &str) -> bool {
+        self.allows.iter().any(|a| a == rule)
+    }
+}
+
+/// One call site inside a fn body.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Callee name (last path segment / method name).
+    pub name: String,
+    /// Qualifier (`Type` in `Type::name(…)`), `Self` already resolved.
+    pub qual: Option<String>,
+    /// Whether this was a `.name(…)` method call.
+    pub method: bool,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Lock classes held (lexically) when the call is made.
+    pub held: Vec<String>,
+}
+
+/// One allocation or panic sink.
+#[derive(Debug)]
+pub struct Sink {
+    /// What the sink is (`Vec::with_capacity`, `.collect`, `unwrap`,
+    /// `panic!`, `index`).
+    pub what: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One lock acquisition site.
+#[derive(Debug)]
+pub struct LockSite {
+    /// The lock class (the `Mutex`/`RwLock` field or binding name).
+    pub class: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Lock classes already held when this one is acquired.
+    pub held: Vec<String>,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Functions, in declaration order.
+    pub fns: Vec<FnInfo>,
+    /// Lines with an `unsafe` token outside test code (the unsafe census).
+    pub unsafe_lines: Vec<usize>,
+}
+
+/// Keywords that look like calls or index receivers but are not.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "match", "return", "for", "loop", "in", "let", "move", "as", "fn", "impl",
+    "mod", "use", "pub", "where", "mut", "ref", "dyn", "else", "box", "break", "continue",
+    "unsafe", "const", "static", "type", "trait", "enum", "struct", "crate", "super", "self",
+    "Self", "async", "await", "yield", "extern",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Macros whose bodies are skipped entirely: assertions are deliberate
+/// invariant checks (flagging the indexing inside every `debug_assert!`
+/// would drown the panic-path rule in noise), and `matches!` bodies are
+/// patterns, not expressions.
+const SKIPPED_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "matches",
+];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Macros that panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Qualifiers whose associated functions allocate (`Vec::new`, `Box::new`,
+/// `String::from`, …).
+const ALLOC_QUALS: &[&str] = &["Vec", "Box", "String", "VecDeque", "BTreeMap", "HashMap"];
+
+/// `std::sync::atomic` method names. A `.load(Ordering::…)` is an atomic
+/// read, not a call to a workspace fn named `load` — the `Ordering` argument
+/// is the tell that disambiguates the two without type information.
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// First pass over the whole source set: every field/binding declared with a
+/// `Mutex<…>` / `RwLock<…>` type becomes a lock *class*, named after the
+/// field. `shards: Box<[Mutex<Shard>]>` declares class `shards`.
+pub fn collect_lock_classes(lexed: &Lexed) -> BTreeSet<String> {
+    let toks = &lexed.tokens;
+    let mut classes = BTreeSet::new();
+    for i in 0..toks.len() {
+        let is_lock_ty = matches!(toks[i].ident(), Some("Mutex" | "RwLock"));
+        if !is_lock_ty || i + 1 >= toks.len() || !toks[i + 1].is_punct('<') {
+            continue;
+        }
+        // Walk backwards for the nearest `name :` pattern without crossing a
+        // declaration boundary.
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            match &toks[j].kind {
+                TokKind::Punct(',' | ';' | '{' | '}' | '(' | '=' | '|') => break,
+                TokKind::Punct(':') if j > 0 => {
+                    // `::` path separators must not terminate the walk.
+                    if toks[j - 1].is_punct(':')
+                        || (j + 1 < toks.len() && toks[j + 1].is_punct(':'))
+                    {
+                        continue;
+                    }
+                    if let Some(name) = toks[j - 1].ident() {
+                        if !is_keyword(name) {
+                            classes.insert(name.to_string());
+                        }
+                    }
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    classes
+}
+
+/// What a `{`-scope on the stack is.
+#[derive(Debug)]
+enum ScopeKind {
+    /// A `mod name { … }` body.
+    Mod,
+    /// An `impl`/`trait` body, with the type name.
+    Impl(String),
+    /// A fn body; the index into `FileItems::fns`.
+    Fn(usize),
+    /// Any other brace pair (blocks, match bodies, struct literals…).
+    Block,
+}
+
+#[derive(Debug)]
+struct Scope {
+    kind: ScopeKind,
+    test: bool,
+    /// Lock classes whose guards (let-bound) live until this scope closes.
+    held: Vec<String>,
+}
+
+/// The extractor's walk state for one file.
+struct Walker<'a> {
+    lexed: &'a Lexed,
+    out: FileItems,
+    scopes: Vec<Scope>,
+    /// Index of the next directive line to absorb.
+    dir_line: usize,
+    pending_hot: bool,
+    pending_entry: bool,
+    pending_allows: Vec<String>,
+    pending_test: bool,
+    /// Guards of `m.lock()` temporaries, alive to the end of the statement.
+    stmt_temps: Vec<String>,
+    /// Whether the current statement started with `let`.
+    stmt_is_let: bool,
+    /// Whether the previous token ended a statement / opened a scope.
+    at_stmt_start: bool,
+}
+
+impl<'a> Walker<'a> {
+    fn current_fn(&self) -> Option<usize> {
+        self.scopes.iter().rev().find_map(|s| match s.kind {
+            ScopeKind::Fn(idx) => Some(idx),
+            _ => None,
+        })
+    }
+
+    fn current_impl(&self) -> Option<&str> {
+        self.scopes.iter().rev().find_map(|s| match &s.kind {
+            ScopeKind::Impl(t) => Some(t.as_str()),
+            _ => None,
+        })
+    }
+
+    fn in_test(&self) -> bool {
+        self.scopes.last().map(|s| s.test).unwrap_or(false)
+    }
+
+    /// Lock classes held at this point, innermost-fn scopes only.
+    fn held_now(&self) -> Vec<String> {
+        let mut held = Vec::new();
+        for s in self.scopes.iter().rev() {
+            held.extend(s.held.iter().cloned());
+            if matches!(s.kind, ScopeKind::Fn(_)) {
+                break;
+            }
+        }
+        held.extend(self.stmt_temps.iter().cloned());
+        held
+    }
+
+    /// Absorbs directives from comment lines up to and including `line`.
+    fn absorb_directives(&mut self, line: usize) {
+        while self.dir_line <= line {
+            for d in self.lexed.directives_on(self.dir_line) {
+                match d {
+                    Directive::Hot => self.pending_hot = true,
+                    Directive::Entry => self.pending_entry = true,
+                    Directive::Allow(r) => self.pending_allows.push(r.clone()),
+                }
+            }
+            self.dir_line += 1;
+        }
+    }
+
+    fn push_scope(&mut self, kind: ScopeKind) {
+        let test = self.in_test() || self.pending_test;
+        self.pending_test = false;
+        self.pending_allows.clear();
+        self.scopes.push(Scope { kind, test, held: Vec::new() });
+        self.at_stmt_start = true;
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+        self.stmt_temps.clear();
+        self.stmt_is_let = false;
+        self.pending_allows.clear();
+        self.at_stmt_start = true;
+    }
+
+    fn end_statement(&mut self) {
+        self.stmt_temps.clear();
+        self.stmt_is_let = false;
+        self.pending_allows.clear();
+        self.pending_test = false;
+        self.at_stmt_start = true;
+    }
+
+    fn record_alloc(&mut self, what: String, line: usize) {
+        if let Some(f) = self.current_fn() {
+            self.out.fns[f].allocs.push(Sink { what, line });
+        }
+    }
+
+    fn record_panic(&mut self, what: String, line: usize) {
+        if let Some(f) = self.current_fn() {
+            self.out.fns[f].panics.push(Sink { what, line });
+        }
+    }
+
+    fn record_call(&mut self, name: String, qual: Option<String>, method: bool, line: usize) {
+        // `Self::helper(…)` resolves against the enclosing impl.
+        let qual = match qual.as_deref() {
+            Some("Self") => self.current_impl().map(str::to_string),
+            _ => qual,
+        };
+        if let Some(f) = self.current_fn() {
+            let held = self.held_now();
+            self.out.fns[f].calls.push(CallSite { name, qual, method, line, held });
+        }
+    }
+
+    fn record_acquire(&mut self, class: String, line: usize) {
+        let held = self.held_now();
+        if let Some(f) = self.current_fn() {
+            self.out.fns[f].acquires.push(LockSite { class: class.clone(), line, held });
+        }
+        if self.stmt_is_let {
+            // A let-bound guard lives until its block closes.
+            if let Some(s) = self.scopes.last_mut() {
+                s.held.push(class);
+                return;
+            }
+        }
+        self.stmt_temps.push(class);
+    }
+}
+
+/// Whether the balanced group opening at `toks[i]` mentions identifier
+/// `name` anywhere inside it (used to spot `Ordering::…` atomic arguments).
+fn group_mentions(toks: &[Token], i: usize, name: &str) -> bool {
+    let end = skip_group(toks, i);
+    toks[i..end].iter().any(|t| t.is_ident(name))
+}
+
+/// Skips a balanced token group starting at the opening delimiter `toks[i]`
+/// (one of `(`, `[`, `{`); returns the index just past the matching close.
+fn skip_group(toks: &[Token], i: usize) -> usize {
+    let (open, close) = match toks[i].kind {
+        TokKind::Punct('(') => ('(', ')'),
+        TokKind::Punct('[') => ('[', ']'),
+        TokKind::Punct('{') => ('{', '}'),
+        _ => return i + 1,
+    };
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is_punct(open) {
+            depth += 1;
+        } else if toks[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skips a turbofish `::<…>` if present at `i`; returns the index after it.
+fn skip_turbofish(toks: &[Token], i: usize) -> usize {
+    if i + 2 < toks.len()
+        && toks[i].is_punct(':')
+        && toks[i + 1].is_punct(':')
+        && toks[i + 2].is_punct('<')
+    {
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        while j < toks.len() {
+            if toks[j].is_punct('<') {
+                depth += 1;
+            } else if toks[j].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        return j;
+    }
+    i
+}
+
+/// The receiver class of a `.lock()`-style call: the nearest identifier
+/// before the `.`, skipping index/call groups — `self.shards[i].lock()`
+/// yields `shards`.
+fn receiver_ident(toks: &[Token], dot: usize) -> Option<String> {
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        match &toks[j].kind {
+            TokKind::Punct(']') | TokKind::Punct(')') => {
+                // Walk back over the balanced group.
+                let (open, close) = if toks[j].is_punct(']') { ('[', ']') } else { ('(', ')') };
+                let mut depth = 0i32;
+                loop {
+                    if toks[j].is_punct(close) {
+                        depth += 1;
+                    } else if toks[j].is_punct(open) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if j == 0 {
+                        return None;
+                    }
+                    j -= 1;
+                }
+            }
+            TokKind::Ident(name) => {
+                if name != "self" && !is_keyword(name) {
+                    return Some(name.clone());
+                }
+                // `self.lock()` — keep walking? No: self *is* the receiver
+                // expression head; there is nothing further left.
+                return None;
+            }
+            TokKind::Punct('.') => {}
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Extracts the items of one file. `lock_classes` is the workspace-wide set
+/// from [`collect_lock_classes`] (the union over all files).
+pub fn extract_file(rel: &Path, lexed: &Lexed, lock_classes: &BTreeSet<String>) -> FileItems {
+    let toks = &lexed.tokens;
+    let mut w = Walker {
+        lexed,
+        out: FileItems::default(),
+        scopes: vec![Scope { kind: ScopeKind::Mod, test: false, held: Vec::new() }],
+        dir_line: 1,
+        pending_hot: false,
+        pending_entry: false,
+        pending_allows: Vec::new(),
+        pending_test: false,
+        stmt_temps: Vec::new(),
+        stmt_is_let: false,
+        at_stmt_start: true,
+    };
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        w.absorb_directives(toks[i].line);
+        let line = toks[i].line;
+        match &toks[i].kind {
+            // Attributes: `#[…]` and `#![…]`. Skipped wholesale — their
+            // contents look like calls (`cfg(test)`, `derive(Debug)`) but
+            // are not; `#[cfg(test)]` / `#[test]` mark the next item.
+            TokKind::Punct('#') => {
+                let mut j = i + 1;
+                if j < toks.len() && toks[j].is_punct('!') {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct('[') {
+                    let end = skip_group(toks, j);
+                    let body = &toks[j + 1..end.saturating_sub(1)];
+                    let first = body.first().and_then(Token::ident);
+                    let is_test_attr = match first {
+                        Some("test") => true,
+                        Some("cfg") => body.iter().any(|t| t.is_ident("test")),
+                        _ => false,
+                    };
+                    if is_test_attr {
+                        w.pending_test = true;
+                    }
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::Ident(id) if id == "unsafe" => {
+                if !w.in_test() {
+                    w.out.unsafe_lines.push(line);
+                }
+                i += 1;
+            }
+            TokKind::Ident(id) if id == "mod" => {
+                // `mod name { … }` opens a scope; `mod name;` does not.
+                let mut j = i + 1;
+                while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct('{') {
+                    w.push_scope(ScopeKind::Mod);
+                } else {
+                    w.pending_test = false;
+                }
+                i = j + 1;
+            }
+            TokKind::Ident(id) if id == "impl" || id == "trait" => {
+                // Type name: last path segment before `{` — or, when a
+                // `for` is present, the last segment after it.
+                let mut j = i + 1;
+                let mut name = String::new();
+                while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                    match &toks[j].kind {
+                        TokKind::Ident(t) if t == "for" => name.clear(),
+                        TokKind::Ident(t) if t == "where" => break,
+                        TokKind::Ident(t) if !is_keyword(t) => name = t.clone(),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct('{') {
+                    w.push_scope(ScopeKind::Impl(name));
+                } else {
+                    w.pending_test = false;
+                }
+                i = j + 1;
+            }
+            TokKind::Ident(id) if id == "fn" => {
+                let Some(TokKind::Ident(fname)) = toks.get(i + 1).map(|t| &t.kind) else {
+                    // `fn(…)` pointer type — not a declaration.
+                    i += 1;
+                    continue;
+                };
+                let fname = fname.clone();
+                // Find the body `{` (or a `;` for trait declarations),
+                // skipping the parameter list and any return type.
+                let mut j = i + 2;
+                let mut paren = 0i32;
+                let mut body = None;
+                while j < toks.len() {
+                    match toks[j].kind {
+                        TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+                        TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
+                        TokKind::Punct('{') if paren == 0 => {
+                            body = Some(j);
+                            break;
+                        }
+                        TokKind::Punct(';') if paren == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let owner = w.current_impl().map(str::to_string);
+                let qual_name = match &owner {
+                    Some(t) if !t.is_empty() => format!("{t}::{fname}"),
+                    _ => fname.clone(),
+                };
+                let info = FnInfo {
+                    name: fname,
+                    qual_name,
+                    owner,
+                    file: rel.to_path_buf(),
+                    line,
+                    is_test: w.in_test() || w.pending_test,
+                    hot: std::mem::take(&mut w.pending_hot),
+                    entry: std::mem::take(&mut w.pending_entry),
+                    allows: std::mem::take(&mut w.pending_allows),
+                    calls: Vec::new(),
+                    allocs: Vec::new(),
+                    panics: Vec::new(),
+                    acquires: Vec::new(),
+                };
+                w.pending_test = false;
+                let idx = w.out.fns.len();
+                w.out.fns.push(info);
+                match body {
+                    Some(b) => {
+                        w.push_scope(ScopeKind::Fn(idx));
+                        i = b + 1;
+                    }
+                    None => i = j + 1,
+                }
+            }
+            TokKind::Punct('{') => {
+                w.push_scope(ScopeKind::Block);
+                i += 1;
+            }
+            TokKind::Punct('}') => {
+                if w.scopes.len() > 1 {
+                    w.pop_scope();
+                }
+                i += 1;
+            }
+            TokKind::Punct(';') => {
+                w.end_statement();
+                i += 1;
+            }
+            TokKind::Punct('.') => {
+                // Method call or field access.
+                let Some(TokKind::Ident(m)) = toks.get(i + 1).map(|t| &t.kind) else {
+                    i += 1;
+                    continue;
+                };
+                let m = m.clone();
+                let after = skip_turbofish(toks, i + 2);
+                if !toks.get(after).is_some_and(|t| t.is_punct('(')) {
+                    i += 2; // plain field access
+                    continue;
+                }
+                if ATOMIC_METHODS.contains(&m.as_str()) && group_mentions(toks, after, "Ordering") {
+                    // Atomic op, not a workspace call; still walk the args.
+                    i = after + 1;
+                    continue;
+                }
+                match m.as_str() {
+                    "to_vec" | "collect" => w.record_alloc(format!(".{m}"), line),
+                    "unwrap" | "expect" => w.record_panic(m.clone(), line),
+                    "lock" | "read" | "write" => match receiver_ident(toks, i) {
+                        Some(class) if lock_classes.contains(&class) => {
+                            w.record_acquire(class, line);
+                        }
+                        _ => w.record_call(m.clone(), None, true, line),
+                    },
+                    _ => w.record_call(m.clone(), None, true, line),
+                }
+                w.at_stmt_start = false;
+                i = after + 1;
+            }
+            TokKind::Ident(id) => {
+                let id = id.clone();
+                let starts_stmt = w.at_stmt_start;
+                w.at_stmt_start = false;
+                if id == "let" && starts_stmt {
+                    w.stmt_is_let = true;
+                    i += 1;
+                    continue;
+                }
+                // Macro invocation `name!`.
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                    && !toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+                {
+                    let mname = id.as_str();
+                    if SKIPPED_MACROS.contains(&mname) {
+                        // Skip the whole body: assertion internals are not
+                        // hot-path code.
+                        let j = i + 2;
+                        i = if j < toks.len() { skip_group(toks, j) } else { j };
+                        continue;
+                    }
+                    if ALLOC_MACROS.contains(&mname) {
+                        w.record_alloc(format!("{mname}!"), line);
+                    } else if PANIC_MACROS.contains(&mname) {
+                        w.record_panic(format!("{mname}!"), line);
+                    }
+                    i += 2;
+                    continue;
+                }
+                // Path: `a::b::c` — collect segments.
+                let mut segs = vec![id.clone()];
+                let mut j = i + 1;
+                while j + 2 < toks.len()
+                    && toks[j].is_punct(':')
+                    && toks[j + 1].is_punct(':')
+                    && matches!(toks[j + 2].kind, TokKind::Ident(_))
+                {
+                    if let TokKind::Ident(s) = &toks[j + 2].kind {
+                        segs.push(s.clone());
+                    }
+                    j += 3;
+                }
+                let after = skip_turbofish(toks, j);
+                let is_call = toks.get(after).is_some_and(|t| t.is_punct('('));
+                if is_call && !(segs.len() == 1 && is_keyword(&segs[0])) {
+                    let callee = segs.last().cloned().unwrap_or_default();
+                    let qual =
+                        if segs.len() >= 2 { Some(segs[segs.len() - 2].clone()) } else { None };
+                    if qual.as_deref().is_some_and(|q| ALLOC_QUALS.contains(&q)) {
+                        w.record_alloc(
+                            format!("{}::{callee}", qual.as_deref().unwrap_or("")),
+                            line,
+                        );
+                    } else {
+                        w.record_call(callee, qual, false, line);
+                    }
+                }
+                i = j.max(after);
+            }
+            TokKind::Punct('[') => {
+                // Indexing if the previous token can end an expression.
+                let indexes = i > 0
+                    && match &toks[i - 1].kind {
+                        TokKind::Ident(p) => !is_keyword(p),
+                        TokKind::Punct(')') | TokKind::Punct(']') => true,
+                        _ => false,
+                    };
+                if indexes {
+                    w.record_panic("index".to_string(), line);
+                }
+                w.at_stmt_start = false;
+                i += 1;
+            }
+            _ => {
+                w.at_stmt_start = false;
+                i += 1;
+            }
+        }
+    }
+    w.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn extract(src: &str) -> FileItems {
+        let lexed = lex(src);
+        let classes = collect_lock_classes(&lexed);
+        extract_file(Path::new("crates/string-store/src/x.rs"), &lexed, &classes)
+    }
+
+    #[test]
+    fn fn_boundaries_and_qualification() {
+        let src = "\
+impl BlockCache {
+    pub fn insert(&self) { self.helper(); }
+    fn helper(&self) {}
+}
+fn free() { other::thing(); }
+";
+        let items = extract(src);
+        let names: Vec<_> = items.fns.iter().map(|f| f.qual_name.as_str()).collect();
+        assert_eq!(names, ["BlockCache::insert", "BlockCache::helper", "free"]);
+        assert_eq!(items.fns[0].calls.len(), 1);
+        assert_eq!(items.fns[0].calls[0].name, "helper");
+        assert!(items.fns[0].calls[0].method);
+        assert_eq!(items.fns[2].calls[0].qual.as_deref(), Some("other"));
+    }
+
+    #[test]
+    fn trait_impls_take_the_implementing_type() {
+        let src = "impl StringStore for DiskStore { fn read_at(&self) {} }\n";
+        let items = extract(src);
+        assert_eq!(items.fns[0].qual_name, "DiskStore::read_at");
+    }
+
+    #[test]
+    fn alloc_and_panic_sinks() {
+        let src = "\
+fn f(xs: &[u32]) -> Vec<u32> {
+    let v = Vec::with_capacity(4);
+    let w: Vec<u32> = xs.iter().copied().collect();
+    let b = vec![1];
+    let first = xs[0];
+    let second = xs.get(1).unwrap();
+    panic!(\"boom\");
+}
+";
+        let items = extract(src);
+        let f = &items.fns[0];
+        let allocs: Vec<_> = f.allocs.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(allocs, ["Vec::with_capacity", ".collect", "vec!"]);
+        let panics: Vec<_> = f.panics.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(panics, ["index", "unwrap", "panic!"]);
+    }
+
+    #[test]
+    fn assertion_macro_bodies_are_skipped() {
+        let src =
+            "fn f(xs: &[u32]) { debug_assert!(xs[0] < 4); assert_eq!(xs[1], 2); real(xs[2]); }\n";
+        let items = extract(src);
+        let f = &items.fns[0];
+        assert_eq!(f.panics.len(), 1, "{:?}", f.panics);
+        assert_eq!(f.panics[0].what, "index");
+        assert_eq!(f.calls.len(), 1);
+    }
+
+    #[test]
+    fn slice_types_and_patterns_are_not_indexing() {
+        let src = "fn f(buf: &mut [u8]) -> [u8; 2] { let [a, b] = [buf[0], 1]; [a, b] }\n";
+        let items = extract(src);
+        assert_eq!(items.fns[0].panics.len(), 1, "{:?}", items.fns[0].panics);
+    }
+
+    #[test]
+    fn cfg_test_functions_are_marked() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn helper() { x.unwrap(); }
+}
+#[test]
+fn a_test() {}
+fn real() {}
+";
+        let items = extract(src);
+        assert!(items.fns[0].is_test);
+        assert!(items.fns[1].is_test);
+        assert!(!items.fns[2].is_test);
+    }
+
+    #[test]
+    fn directives_bind_to_the_next_fn() {
+        let src = "\
+// era-check: hot
+#[inline]
+pub fn fast() {}
+// era-check: entry
+pub fn serve() {}
+// era-check: allow(panic-path): ids are validated on load
+fn walk() {}
+fn unmarked() {}
+";
+        let items = extract(src);
+        assert!(items.fns[0].hot);
+        assert!(!items.fns[0].entry);
+        assert!(items.fns[1].entry);
+        assert!(items.fns[2].allows_rule("panic-path"));
+        assert!(!items.fns[3].hot && !items.fns[3].entry && items.fns[3].allows.is_empty());
+    }
+
+    #[test]
+    fn site_allows_do_not_leak_to_later_fns() {
+        let src = "\
+fn f() {
+    // era-check: allow(unwrap): fine here
+    x.unwrap();
+}
+fn g() {}
+";
+        let items = extract(src);
+        assert!(items.fns[1].allows.is_empty(), "{:?}", items.fns[1].allows);
+    }
+
+    #[test]
+    fn lock_classes_and_held_sets() {
+        let src = "\
+struct S { a: Mutex<u32>, b: Mutex<u32>, shards: Box<[Mutex<Shard>]> }
+impl S {
+    fn nested(&self) {
+        let ga = self.a.lock().unwrap();
+        self.b.lock().unwrap();
+    }
+    fn sequential(&self) {
+        { let ga = self.a.lock().unwrap(); }
+        let gb = self.b.lock().unwrap();
+    }
+    fn sharded(&self, i: usize) {
+        self.shards[i].lock().unwrap();
+    }
+}
+";
+        let lexed = lex(src);
+        let classes = collect_lock_classes(&lexed);
+        assert!(classes.contains("a") && classes.contains("b") && classes.contains("shards"));
+        let items = extract_file(Path::new("x.rs"), &lexed, &classes);
+        let nested = &items.fns[0];
+        assert_eq!(nested.acquires.len(), 2);
+        assert!(nested.acquires[0].held.is_empty());
+        assert_eq!(nested.acquires[1].held, ["a"]);
+        let sequential = &items.fns[1];
+        assert!(sequential.acquires[1].held.is_empty(), "{:?}", sequential.acquires[1]);
+        let sharded = &items.fns[2];
+        assert_eq!(sharded.acquires[0].class, "shards");
+    }
+
+    #[test]
+    fn calls_record_held_locks() {
+        let src = "\
+struct S { m: Mutex<u32> }
+impl S {
+    fn f(&self) {
+        let g = self.m.lock().unwrap();
+        helper();
+    }
+}
+";
+        let items = extract(src);
+        let call = items.fns[0].calls.iter().find(|c| c.name == "helper").unwrap();
+        assert_eq!(call.held, ["m"]);
+    }
+
+    #[test]
+    fn unsafe_census_skips_test_code() {
+        let src = "\
+fn f() { unsafe { x() } }
+#[cfg(test)]
+mod tests { fn g() { unsafe { y() } } }
+";
+        let items = extract(src);
+        assert_eq!(items.unsafe_lines, [1]);
+    }
+
+    #[test]
+    fn self_calls_resolve_to_the_impl_type() {
+        let src = "impl Tree { fn f(&self) { Self::helper(); } fn helper() {} }\n";
+        let items = extract(src);
+        assert_eq!(items.fns[0].calls[0].qual.as_deref(), Some("Tree"));
+    }
+}

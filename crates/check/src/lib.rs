@@ -4,18 +4,30 @@
 //! Three independent passes, each usable as a library and wired together by
 //! the `era-check` binary (and by the CI `static-analysis` job):
 //!
-//! - [`lint`] — source lints over the workspace's own `.rs` files, enforcing
-//!   the seams the architecture depends on: raw `read_at` calls stay confined
-//!   to the cursor/text-source layer, `// era-check: hot` functions do not
-//!   allocate, library crates do not `unwrap()`, and the unsafe-code census
-//!   stays at zero.
+//! - [`lint`] — a *semantic* pass over the workspace's own `.rs` files. A
+//!   dependency-free Rust lexer ([`lex`]) tokenizes every file (raw strings,
+//!   nested block comments, lifetimes and all), an item extractor ([`graph`])
+//!   recovers fn boundaries, call sites, sinks (allocation, panic, lock
+//!   acquisition) and `// era-check:` directives, and the lint rules run over
+//!   the resulting workspace-wide call graph: raw `read_at` calls stay
+//!   confined to the cursor/text-source layer, `// era-check: hot` functions
+//!   do not *reach* allocation through any call chain, functions reachable
+//!   from `// era-check: entry` serving entry points do not reach
+//!   unwrap/expect/panic!/direct indexing, library crates do not `unwrap()`,
+//!   workspace locks obey one static acquisition order, and the unsafe-code
+//!   census stays at zero. Every rule is escapable only by a reasoned
+//!   `// era-check: allow(rule): why` directive.
 //! - [`fsck`] — deep verification of on-disk index artifacts (`ERAFLAT1`
 //!   part files, `ERAPART1` manifests, `ERAP` packed text), reusing the
 //!   `era-suffix-tree` validators so a corrupted artifact is rejected with a
 //!   diagnostic instead of serving wrong answers.
-//! - [`models`] — small concurrency models of the BlockCache accounting and
-//!   the query-engine shared queue, checked exhaustively under every
-//!   interleaving by the vendored [`interleave`] explorer.
+//! - [`real`] (with the `shim-sync` feature) — the *real* concurrent code of
+//!   the workspace, exhaustively interleaved: `era-string-store` and `era`
+//!   compile their sync primitives against the vendored loom-style shims
+//!   (`interleave::shim`), and two-sided suites drive the actual
+//!   `CacheStats`, `BlockCache` shard and query `WorkQueue` methods through
+//!   every schedule — the production path must hold on all of them, and a
+//!   seeded split read-modify-write twin must be caught.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -23,5 +35,8 @@
 #![warn(clippy::all)]
 
 pub mod fsck;
+pub mod graph;
+pub mod lex;
 pub mod lint;
-pub mod models;
+#[cfg(feature = "shim-sync")]
+pub mod real;

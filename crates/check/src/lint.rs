@@ -1,60 +1,94 @@
-//! Source lints over the workspace's own `.rs` files.
+//! Semantic source lints over the workspace's own `.rs` files.
 //!
 //! The rules encode seams the architecture depends on but the compiler cannot
-//! enforce:
+//! enforce. Since PR 8 they run on a **workspace call graph** (built by
+//! [`crate::lex`] + [`crate::graph`]) instead of per-line string matching,
+//! so reachability rules see through helper functions:
 //!
-//! - **raw-read** — every `read_at` call outside `cursor.rs` / `text_source.rs`
-//!   is flagged. All block I/O is supposed to flow through [`BlockCursor`] and
-//!   the text-source layer so it is accounted in `IoStats`; a stray `read_at`
-//!   is unaccounted I/O.
-//! - **hot-alloc** — functions marked with a `// era-check: hot` comment must
-//!   not allocate a `Vec` (`Vec::new`, `with_capacity`, `vec![`, `to_vec`,
-//!   `collect`). The serving hot path is allocation-free by design.
-//! - **unwrap** — no `unwrap()` / `expect(` in library crates outside test
-//!   code. Library errors must propagate; deliberate exceptions carry a
-//!   `// era-check: allow(unwrap): reason` suppression.
+//! - **raw-read** — every `read_at` call outside `cursor.rs` /
+//!   `text_source.rs` is flagged. All block I/O is supposed to flow through
+//!   [`BlockCursor`] and the text-source layer so it is accounted in
+//!   `IoStats`; a stray `read_at` is unaccounted I/O.
+//! - **hot-alloc** — a function marked `// era-check: hot` must not *reach*
+//!   an allocation (`Vec::…`/`Box::…`/`String::…` constructors, `.to_vec()`,
+//!   `.collect()`, `vec!`/`format!`) through **any call chain**, not just
+//!   allocate directly. Findings carry the chain that reaches the sink.
+//! - **panic-path** — a function reachable from a `// era-check: entry`
+//!   function (the query/serving entry points) must not reach `unwrap`/
+//!   `expect`/`panic!`-family macros/indexing-without-`get`. A site-level
+//!   `allow(unwrap)` also satisfies this rule for unwrap/expect sinks, so
+//!   the long-standing poisoned-lock annotations keep working.
+//! - **unwrap** — no `unwrap()` / `expect(…)` in library crates outside test
+//!   code, reachable or not. Library errors must propagate.
+//! - **lock-order** — the workspace's `Mutex`/`RwLock` classes (one class
+//!   per declared field name) are ranked by first acquisition in file order;
+//!   acquiring a class while holding an equal-or-later-ranked one — directly
+//!   or through any call chain — is a violation. This makes lock-ordering a
+//!   checked invariant instead of a convention.
 //! - **unsafe-census** — occurrences of `unsafe` in non-vendor crates. The
-//!   budget is zero, and every crate root now carries
-//!   `#![forbid(unsafe_code)]`; the census keeps that from regressing via
-//!   attribute removal.
+//!   budget is zero, and every crate root carries `#![forbid(unsafe_code)]`;
+//!   the census keeps that from regressing via attribute removal.
 //!
 //! A finding can be suppressed with `// era-check: allow(<rule>)` on the same
-//! line or the immediately preceding line. Code under a `#[cfg(test)]` module
-//! is skipped entirely.
+//! line or the immediately preceding line; an allow written directly above a
+//! `fn` declaration (only attributes in between) covers the whole function.
+//! For the reachability rules, an allow on a *call* line cuts that edge out
+//! of the traversal. Code under `#[cfg(test)]` is never linted and never
+//! contributes graph edges.
 //!
-//! The scanner is deliberately line-level (comments and string literals are
-//! stripped by a small state machine, `#[cfg(test)]` modules by brace
-//! tracking) rather than a full parse: the rules only need token-ish
-//! precision, and keeping the checker dependency-free matters more here than
-//! handling pathological macro-generated code.
+//! Call resolution is name-based (qualified calls prefer the matching
+//! `impl`), restricted to non-test functions of the library crates — an
+//! over-approximation by design: a false chain costs one reasoned `allow`,
+//! a missed chain would cost the guarantee.
 //!
 //! [`BlockCursor`]: era_string_store::BlockCursor
 
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use crate::graph::{collect_lock_classes, extract_file, FileItems, FnInfo};
+use crate::lex::{lex, Lexed};
 
 /// The lint rules `era-check lint` knows about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// `read_at` call outside the cursor / text-source layer.
     RawRead,
-    /// `Vec` allocation inside a `// era-check: hot` function.
+    /// Allocation reachable from a `// era-check: hot` function.
     HotAlloc,
     /// `unwrap()` / `expect(` in a library crate outside tests.
     Unwrap,
+    /// Panic site reachable from a `// era-check: entry` function.
+    PanicPath,
+    /// Lock acquired while holding an equal-or-later-ranked lock.
+    LockOrder,
     /// Any use of `unsafe`.
     UnsafeCode,
 }
 
 impl Rule {
+    /// Every rule, in reporting order. The fixture suite iterates this — a
+    /// rule added here without fixtures fails that suite.
+    pub const ALL: &'static [Rule] = &[
+        Rule::RawRead,
+        Rule::HotAlloc,
+        Rule::Unwrap,
+        Rule::PanicPath,
+        Rule::LockOrder,
+        Rule::UnsafeCode,
+    ];
+
     /// The rule's name as used in `// era-check: allow(<name>)` directives.
     pub fn name(self) -> &'static str {
         match self {
             Rule::RawRead => "raw-read",
             Rule::HotAlloc => "hot-alloc",
             Rule::Unwrap => "unwrap",
+            Rule::PanicPath => "panic-path",
+            Rule::LockOrder => "lock-order",
             Rule::UnsafeCode => "unsafe",
         }
     }
@@ -77,11 +111,17 @@ pub struct Finding {
     pub line: usize,
     /// The offending source line, trimmed.
     pub excerpt: String,
+    /// Extra context — for reachability rules, the call chain to the sink.
+    pub message: String,
 }
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.excerpt)
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.excerpt)?;
+        if !self.message.is_empty() {
+            write!(f, "\n    {}", self.message)?;
+        }
+        Ok(())
     }
 }
 
@@ -99,8 +139,9 @@ pub struct FilePolicy {
 pub const RAW_READ_SEAM: &[&str] = &["cursor.rs", "text_source.rs"];
 
 /// Crate directories whose sources are linted as *library* code (the unwrap
-/// rule applies). Harness crates — bench, tests, examples, and era-check
-/// itself — may unwrap freely.
+/// rule applies, and their fns are call-graph resolution candidates).
+/// Harness crates — bench, tests, examples, and era-check itself — may
+/// unwrap freely and never appear in hot/entry chains.
 pub const LIBRARY_CRATES: &[&str] = &[
     "crates/string-store",
     "crates/suffix-array",
@@ -110,8 +151,11 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "crates/workloads",
 ];
 
-/// Directories never linted: vendored stand-ins and build output.
-pub const EXCLUDED_DIRS: &[&str] = &["crates/vendor", "target", ".git"];
+/// Directories never linted: vendored stand-ins, build output, and the
+/// deliberately-violating fixture corpus (those files are linted by the
+/// fixture suite under a virtual library path, not by the workspace sweep).
+pub const EXCLUDED_DIRS: &[&str] =
+    &["crates/vendor", "crates/check/tests/fixtures", "target", ".git"];
 
 impl FilePolicy {
     /// The policy for `path`, interpreted relative to the workspace root.
@@ -125,238 +169,407 @@ impl FilePolicy {
     }
 }
 
-/// Strips comments and string/char literals from one line of source,
-/// returning `(code, comment)` where `comment` is the text of a trailing
-/// `//` comment (empty if none). `in_block_comment` carries `/* … */` state
-/// across lines.
-fn split_code_comment(line: &str, in_block_comment: &mut bool) -> (String, String) {
-    let bytes = line.as_bytes();
-    let mut code = String::with_capacity(line.len());
-    let mut comment = String::new();
-    let mut i = 0;
-    while i < bytes.len() {
-        if *in_block_comment {
-            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                *in_block_comment = false;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
+/// One analyzed file: its lexed form plus extracted items.
+struct AnalyzedFile {
+    rel: PathBuf,
+    lexed: Lexed,
+    items: FileItems,
+    lines: Vec<String>,
+    policy: FilePolicy,
+    library: bool,
+}
+
+/// A workspace-wide analysis: every file's items plus the call graph.
+pub struct Analysis {
+    files: Vec<AnalyzedFile>,
+    /// Flat fn list as (file index, fn index) pairs, in file order.
+    fn_ids: Vec<(usize, usize)>,
+    by_name: HashMap<String, Vec<usize>>,
+    by_qual: HashMap<String, Vec<usize>>,
+}
+
+impl Analysis {
+    /// Builds the analysis from `(relative path, source)` pairs.
+    pub fn build(sources: &[(PathBuf, String)]) -> Analysis {
+        let lexed: Vec<Lexed> = sources.iter().map(|(_, src)| lex(src)).collect();
+        let mut lock_classes = std::collections::BTreeSet::new();
+        for l in &lexed {
+            lock_classes.extend(collect_lock_classes(l));
         }
-        match bytes[i] {
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                comment.push_str(&line[i..]);
-                break;
-            }
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                *in_block_comment = true;
-                i += 2;
-            }
-            b'"' => {
-                // String literal: skip to the unescaped closing quote. Raw
-                // strings (r"…") lack escapes but close the same way for the
-                // simple literals this workspace uses.
-                code.push('"');
-                i += 1;
-                while i < bytes.len() {
-                    if bytes[i] == b'\\' {
-                        i += 2;
-                    } else if bytes[i] == b'"' {
-                        code.push('"');
-                        i += 1;
-                        break;
-                    } else {
-                        i += 1;
-                    }
+        let mut files = Vec::with_capacity(sources.len());
+        for ((rel, src), l) in sources.iter().zip(lexed) {
+            let items = extract_file(rel, &l, &lock_classes);
+            files.push(AnalyzedFile {
+                rel: rel.clone(),
+                policy: FilePolicy::for_path(rel),
+                library: LIBRARY_CRATES.iter().any(|c| rel.to_string_lossy().starts_with(c))
+                    || !rel.to_string_lossy().contains("crates/"),
+                lines: src.lines().map(str::to_string).collect(),
+                lexed: l,
+                items,
+            });
+        }
+        let mut fn_ids = Vec::new();
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut by_qual: HashMap<String, Vec<usize>> = HashMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.items.fns.iter().enumerate() {
+                let id = fn_ids.len();
+                fn_ids.push((fi, gi));
+                // Only non-test fns of library files are resolution targets.
+                if !f.is_test && file.library {
+                    by_name.entry(f.name.clone()).or_default().push(id);
+                    by_qual.entry(f.qual_name.clone()).or_default().push(id);
                 }
             }
-            b'\'' => {
-                // Char literal only if it closes within a couple of chars
-                // ('x', '\n', b'{'); otherwise it is a lifetime.
-                let lit_len = if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
-                    if i + 3 < bytes.len() && bytes[i + 3] == b'\'' {
-                        4
-                    } else {
-                        0
+        }
+        Analysis { files, fn_ids, by_name, by_qual }
+    }
+
+    fn fn_info(&self, id: usize) -> &FnInfo {
+        let (fi, gi) = self.fn_ids[id];
+        &self.files[fi].items.fns[gi]
+    }
+
+    fn file_of(&self, id: usize) -> &AnalyzedFile {
+        &self.files[self.fn_ids[id].0]
+    }
+
+    fn excerpt(&self, file: &AnalyzedFile, line: usize) -> String {
+        file.lines.get(line.saturating_sub(1)).map(|l| l.trim().to_string()).unwrap_or_default()
+    }
+
+    /// Resolves one call site to candidate fn ids. Qualified calls prefer an
+    /// exact `Type::name` match; failing that, the qualifier is assumed to
+    /// be a module path and only *free* fns with the bare name match (so
+    /// `Arc::new` never resolves to every `new` in the workspace). Method
+    /// and plain calls resolve by bare name anywhere in the library set.
+    fn resolve(&self, call: &crate::graph::CallSite) -> Vec<usize> {
+        if let Some(q) = &call.qual {
+            let key = format!("{q}::{}", call.name);
+            if let Some(v) = self.by_qual.get(&key) {
+                return v.clone();
+            }
+            return self
+                .by_name
+                .get(&call.name)
+                .map(|v| v.iter().copied().filter(|&id| self.fn_info(id).owner.is_none()).collect())
+                .unwrap_or_default();
+        }
+        self.by_name.get(&call.name).cloned().unwrap_or_default()
+    }
+
+    /// BFS over call edges from `roots`. An `allow(<rule>)` on a call line
+    /// cuts that edge; a fn-level `allow(<rule>)` forgives the fn's *own*
+    /// sinks (checked by the caller) but does not stop traversal — callees
+    /// of an allowed fn are still on the path and still checked.
+    /// Returns reachable ids with their parent edge for chain rendering.
+    fn reach(&self, roots: &[usize], rule: Rule) -> HashMap<usize, Option<(usize, usize)>> {
+        let mut seen: HashMap<usize, Option<(usize, usize)>> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            seen.entry(r).or_insert(None);
+            queue.push_back(r);
+        }
+        while let Some(id) = queue.pop_front() {
+            let info = self.fn_info(id);
+            let file = self.file_of(id);
+            for call in &info.calls {
+                if file.lexed.allows_site(call.line, rule.name()) {
+                    continue;
+                }
+                for callee in self.resolve(call) {
+                    if callee == id || seen.contains_key(&callee) {
+                        continue;
                     }
-                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
-                    3
-                } else {
-                    0
-                };
-                if lit_len > 0 {
-                    code.push('\'');
-                    i += lit_len;
-                } else {
-                    code.push('\'');
-                    i += 1;
+                    seen.insert(callee, Some((id, call.line)));
+                    queue.push_back(callee);
                 }
             }
-            b => {
-                code.push(b as char);
-                i += 1;
+        }
+        seen
+    }
+
+    /// Renders the call chain from a root to `id` as `a -> b -> c`.
+    fn chain(&self, reach: &HashMap<usize, Option<(usize, usize)>>, id: usize) -> String {
+        let mut parts = vec![self.fn_info(id).qual_name.clone()];
+        let mut cur = id;
+        while let Some(Some((parent, _line))) = reach.get(&cur) {
+            parts.push(self.fn_info(*parent).qual_name.clone());
+            cur = *parent;
+        }
+        parts.reverse();
+        parts.join(" -> ")
+    }
+
+    /// Runs every rule, returning findings in file order.
+    pub fn findings(&self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        self.rule_raw_read(&mut findings);
+        self.rule_unwrap(&mut findings);
+        self.rule_unsafe(&mut findings);
+        self.rule_hot_alloc(&mut findings);
+        self.rule_panic_path(&mut findings);
+        self.rule_lock_order(&mut findings);
+        findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        findings
+    }
+
+    fn rule_raw_read(&self, out: &mut Vec<Finding>) {
+        for file in &self.files {
+            if file.policy.raw_read_allowed {
+                continue;
+            }
+            for f in &file.items.fns {
+                if f.is_test {
+                    continue;
+                }
+                for call in f.calls.iter().filter(|c| c.name == "read_at") {
+                    if file.lexed.allows_site(call.line, Rule::RawRead.name())
+                        || f.allows_rule(Rule::RawRead.name())
+                    {
+                        continue;
+                    }
+                    out.push(Finding {
+                        rule: Rule::RawRead,
+                        file: file.rel.clone(),
+                        line: call.line,
+                        excerpt: self.excerpt(file, call.line),
+                        message: String::new(),
+                    });
+                }
             }
         }
     }
-    (code, comment)
-}
 
-/// Whether `code` contains `needle` as a call-ish token: preceded by a
-/// non-identifier character (or start of line) so `pread_at` does not match
-/// `read_at`.
-fn has_token(code: &str, needle: &str) -> bool {
-    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(needle) {
-        let abs = start + pos;
-        let end = abs + needle.len();
-        let prev_ok = abs == 0 || !is_ident(code.as_bytes()[abs - 1]);
-        // Only require a non-identifier follower when the needle itself ends
-        // in an identifier char (so "fn " keeps working).
-        let next_ok = !needle.ends_with(|c: char| c.is_ascii_alphanumeric() || c == '_')
-            || end >= code.len()
-            || !is_ident(code.as_bytes()[end]);
-        if prev_ok && next_ok {
-            return true;
+    fn rule_unwrap(&self, out: &mut Vec<Finding>) {
+        for file in &self.files {
+            if !file.policy.unwrap_denied {
+                continue;
+            }
+            for f in &file.items.fns {
+                if f.is_test {
+                    continue;
+                }
+                for p in &f.panics {
+                    if p.what != "unwrap" && p.what != "expect" {
+                        continue;
+                    }
+                    if file.lexed.allows_site(p.line, Rule::Unwrap.name())
+                        || f.allows_rule(Rule::Unwrap.name())
+                    {
+                        continue;
+                    }
+                    out.push(Finding {
+                        rule: Rule::Unwrap,
+                        file: file.rel.clone(),
+                        line: p.line,
+                        excerpt: self.excerpt(file, p.line),
+                        message: String::new(),
+                    });
+                }
+            }
         }
-        start = end;
     }
-    false
-}
 
-/// Allocation patterns forbidden in `// era-check: hot` functions.
-const HOT_ALLOC_PATTERNS: &[&str] =
-    &["Vec::new", "Vec::with_capacity", "vec!", ".to_vec(", ".collect(", ".collect::<"];
-
-/// Lints one file's source text. `rel` is the path relative to the workspace
-/// root (used for policy and reporting).
-pub fn lint_source(rel: &Path, source: &str) -> Vec<Finding> {
-    let policy = FilePolicy::for_path(rel);
-    let mut findings = Vec::new();
-
-    let mut in_block_comment = false;
-    let mut depth: i32 = 0;
-    // Depth at which a #[cfg(test)] mod's body opened; lines inside are skipped.
-    let mut test_mod_close: Option<i32> = None;
-    let mut pending_cfg_test = false;
-    // Depth at which a `// era-check: hot` function's body opened.
-    let mut hot_fn_close: Option<i32> = None;
-    let mut pending_hot = false;
-    let mut prev_allows: Vec<String> = Vec::new();
-
-    for (idx, raw_line) in source.lines().enumerate() {
-        let line_no = idx + 1;
-        let (code, comment) = split_code_comment(raw_line, &mut in_block_comment);
-
-        let mut allows: Vec<String> = Vec::new();
-        // A directive must be the comment itself ("// era-check: ..."), not a
-        // mention of one inside prose — doc comments describing the rules
-        // would otherwise arm the hot tracker.
-        let directive = comment.trim_start_matches(['/', '!']).trim_start();
-        if let Some(rest) = directive.strip_prefix("era-check:") {
-            let rest = rest.trim_start();
-            if let Some(arg) = rest.strip_prefix("allow(") {
-                if let Some(end) = arg.find(')') {
-                    allows.push(arg[..end].trim().to_string());
+    fn rule_unsafe(&self, out: &mut Vec<Finding>) {
+        for file in &self.files {
+            for &line in &file.items.unsafe_lines {
+                if file.lexed.allows_site(line, Rule::UnsafeCode.name()) {
+                    continue;
                 }
-            } else if rest.starts_with("hot") {
-                pending_hot = true;
-            }
-        }
-        let allowed = |rule: Rule| {
-            allows.iter().any(|a| a == rule.name()) || prev_allows.iter().any(|a| a == rule.name())
-        };
-
-        let in_test_mod = test_mod_close.is_some();
-        let opens = code.matches('{').count() as i32;
-        let closes = code.matches('}').count() as i32;
-
-        if code.contains("#[cfg(test)]") {
-            pending_cfg_test = true;
-        } else if pending_cfg_test && !code.trim().is_empty() {
-            if code.trim_start().starts_with("mod ") || code.trim_start().starts_with("pub mod ") {
-                if opens > 0 && test_mod_close.is_none() {
-                    test_mod_close = Some(depth);
-                    pending_cfg_test = false;
-                }
-                // `mod foo;` without a body: the file itself is not skipped.
-                if code.contains(';') && opens == 0 {
-                    pending_cfg_test = false;
-                }
-            } else if !code.trim_start().starts_with("#[") {
-                // The cfg(test) applied to something other than a mod
-                // (a single fn or use); just clear the flag.
-                pending_cfg_test = false;
-            }
-        }
-
-        if !in_test_mod {
-            // Track the body of a hot-marked function.
-            if pending_hot && hot_fn_close.is_none() && has_token(&code, "fn ") && opens > 0 {
-                hot_fn_close = Some(depth);
-                pending_hot = false;
-            }
-            let in_hot = hot_fn_close.is_some();
-
-            if !policy.raw_read_allowed
-                && has_token(&code, "read_at")
-                && !code.contains("fn read_at")
-                && !allowed(Rule::RawRead)
-            {
-                findings.push(Finding {
-                    rule: Rule::RawRead,
-                    file: rel.to_path_buf(),
-                    line: line_no,
-                    excerpt: raw_line.trim().to_string(),
-                });
-            }
-            if in_hot
-                && HOT_ALLOC_PATTERNS.iter().any(|p| code.contains(p))
-                && !allowed(Rule::HotAlloc)
-            {
-                findings.push(Finding {
-                    rule: Rule::HotAlloc,
-                    file: rel.to_path_buf(),
-                    line: line_no,
-                    excerpt: raw_line.trim().to_string(),
-                });
-            }
-            if policy.unwrap_denied
-                && (code.contains(".unwrap()") || code.contains(".expect("))
-                && !allowed(Rule::Unwrap)
-            {
-                findings.push(Finding {
-                    rule: Rule::Unwrap,
-                    file: rel.to_path_buf(),
-                    line: line_no,
-                    excerpt: raw_line.trim().to_string(),
-                });
-            }
-            if has_token(&code, "unsafe") && !allowed(Rule::UnsafeCode) {
-                findings.push(Finding {
+                out.push(Finding {
                     rule: Rule::UnsafeCode,
-                    file: rel.to_path_buf(),
-                    line: line_no,
-                    excerpt: raw_line.trim().to_string(),
+                    file: file.rel.clone(),
+                    line,
+                    excerpt: self.excerpt(file, line),
+                    message: String::new(),
                 });
             }
         }
-
-        depth += opens - closes;
-        if let Some(d) = test_mod_close {
-            if depth <= d {
-                test_mod_close = None;
-            }
-        }
-        if let Some(d) = hot_fn_close {
-            if depth <= d {
-                hot_fn_close = None;
-            }
-        }
-        prev_allows = allows;
     }
-    findings
+
+    /// Shared body of the two reachability rules: BFS from `roots`, then
+    /// flag each matching sink in every reachable fn.
+    fn reachability_rule(
+        &self,
+        rule: Rule,
+        roots: Vec<usize>,
+        sinks: impl Fn(&FnInfo) -> Vec<(String, usize)>,
+        also_allowed_by: Option<&str>,
+        out: &mut Vec<Finding>,
+    ) {
+        let reach = self.reach(&roots, rule);
+        let mut reported: HashSet<(usize, usize)> = HashSet::new();
+        let mut ids: Vec<usize> = reach.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let info = self.fn_info(id);
+            if info.allows_rule(rule.name()) {
+                continue;
+            }
+            let file = self.file_of(id);
+            for (what, line) in sinks(info) {
+                if file.lexed.allows_site(line, rule.name()) {
+                    continue;
+                }
+                if let Some(alias) = also_allowed_by {
+                    if (what == "unwrap" || what == "expect") && file.lexed.allows_site(line, alias)
+                    {
+                        continue;
+                    }
+                }
+                if !reported.insert((self.fn_ids[id].0, line)) {
+                    continue;
+                }
+                let chain = self.chain(&reach, id);
+                out.push(Finding {
+                    rule,
+                    file: file.rel.clone(),
+                    line,
+                    excerpt: self.excerpt(file, line),
+                    message: format!("{what} reached via {chain}"),
+                });
+            }
+        }
+    }
+
+    fn rule_hot_alloc(&self, out: &mut Vec<Finding>) {
+        let roots: Vec<usize> = (0..self.fn_ids.len()).filter(|&id| self.fn_info(id).hot).collect();
+        self.reachability_rule(
+            Rule::HotAlloc,
+            roots,
+            |f| f.allocs.iter().map(|s| (s.what.clone(), s.line)).collect(),
+            None,
+            out,
+        );
+    }
+
+    fn rule_panic_path(&self, out: &mut Vec<Finding>) {
+        let roots: Vec<usize> =
+            (0..self.fn_ids.len()).filter(|&id| self.fn_info(id).entry).collect();
+        self.reachability_rule(
+            Rule::PanicPath,
+            roots,
+            |f| f.panics.iter().map(|s| (s.what.clone(), s.line)).collect(),
+            Some(Rule::Unwrap.name()),
+            out,
+        );
+    }
+
+    fn rule_lock_order(&self, out: &mut Vec<Finding>) {
+        // Rank lock classes by first acquisition in file order: the order
+        // locks are *first taken* in becomes the canonical order.
+        let mut rank: BTreeMap<String, usize> = BTreeMap::new();
+        for id in 0..self.fn_ids.len() {
+            for a in &self.fn_info(id).acquires {
+                let next = rank.len();
+                rank.entry(a.class.clone()).or_insert(next);
+            }
+        }
+        // Transitive acquire-sets per fn (fixpoint over call edges), so a
+        // call made under a lock is charged with everything it may acquire.
+        let n = self.fn_ids.len();
+        let mut acq: Vec<HashSet<String>> = (0..n)
+            .map(|id| self.fn_info(id).acquires.iter().map(|a| a.class.clone()).collect())
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in 0..n {
+                let mut add: Vec<String> = Vec::new();
+                for call in &self.fn_info(id).calls {
+                    for callee in self.resolve(call) {
+                        if callee == id {
+                            continue;
+                        }
+                        for c in &acq[callee] {
+                            if !acq[id].contains(c) {
+                                add.push(c.clone());
+                            }
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    acq[id].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        let flag = |file: &AnalyzedFile,
+                    f: &FnInfo,
+                    line: usize,
+                    class: &str,
+                    held: &str,
+                    via: Option<&str>,
+                    out: &mut Vec<Finding>| {
+            if file.lexed.allows_site(line, Rule::LockOrder.name())
+                || f.allows_rule(Rule::LockOrder.name())
+            {
+                return;
+            }
+            let how = match via {
+                Some(callee) => format!("call into {callee} acquires `{class}`"),
+                None => format!("acquires `{class}`"),
+            };
+            out.push(Finding {
+                rule: Rule::LockOrder,
+                file: file.rel.clone(),
+                line,
+                excerpt: self.excerpt(file, line),
+                message: format!(
+                    "{how} while holding `{held}` (canonical order: {} before {})",
+                    class, held
+                ),
+            });
+        };
+        for id in 0..n {
+            let f = self.fn_info(id);
+            if f.is_test {
+                continue;
+            }
+            let file = self.file_of(id);
+            for a in &f.acquires {
+                for h in &a.held {
+                    if rank[&a.class] <= rank[h] {
+                        flag(file, f, a.line, &a.class, h, None, out);
+                    }
+                }
+            }
+            for call in &f.calls {
+                if call.held.is_empty() {
+                    continue;
+                }
+                for callee in self.resolve(call) {
+                    if callee == id {
+                        continue;
+                    }
+                    for c in &acq[callee] {
+                        for h in &call.held {
+                            if rank[c] <= rank[h] {
+                                let name = self.fn_info(callee).qual_name.clone();
+                                flag(file, f, call.line, c, h, Some(&name), out);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Analyzes a set of `(relative path, source)` pairs and returns the
+/// findings of every rule. This is the seam the fixture suite drives.
+pub fn analyze_sources(sources: &[(PathBuf, String)]) -> LintReport {
+    let analysis = Analysis::build(sources);
+    LintReport { files: sources.len(), findings: analysis.findings() }
+}
+
+/// Lints one file's source text in isolation. `rel` is the path relative to
+/// the workspace root (used for policy and reporting). Reachability rules
+/// see only this file's call graph.
+pub fn lint_source(rel: &Path, source: &str) -> Vec<Finding> {
+    analyze_sources(&[(rel.to_path_buf(), source.to_string())]).findings
 }
 
 /// A full workspace lint run.
@@ -398,14 +611,13 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut report = LintReport::default();
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let source = fs::read_to_string(&path)?;
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-        report.files += 1;
-        report.findings.extend(lint_source(&rel, &source));
+        sources.push((rel, source));
     }
-    Ok(report)
+    Ok(analyze_sources(&sources))
 }
 
 /// Locates the workspace root by walking up from `start` until a directory
@@ -430,6 +642,10 @@ mod tests {
 
     fn lint_lib(src: &str) -> Vec<Finding> {
         lint_source(Path::new("crates/string-store/src/example.rs"), src)
+    }
+
+    fn of_rule(findings: &[Finding], rule: Rule) -> Vec<&Finding> {
+        findings.iter().filter(|f| f.rule == rule).collect()
     }
 
     #[test]
@@ -477,6 +693,19 @@ mod tests {
     }
 
     #[test]
+    fn read_at_inside_raw_string_or_nested_comment_is_ignored() {
+        // Regression (PR 8 satellite): both constructs defeated the old
+        // line-level scanner.
+        let src = "\
+fn f() {
+    let a = r#\"s.read_at(0, buf)\"#;
+    /* outer /* inner */ s.read_at(0, buf); */
+}
+";
+        assert!(lint_lib(src).is_empty(), "{:?}", lint_lib(src));
+    }
+
+    #[test]
     fn hot_function_allocation_is_flagged() {
         let src = "\
 // era-check: hot
@@ -492,6 +721,64 @@ fn cold(&self) -> Vec<u32> {
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, Rule::HotAlloc);
         assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn hot_transitive_allocation_is_flagged_with_chain() {
+        // The tentpole case: the hot fn itself is clean, but a helper two
+        // calls down allocates.
+        let src = "\
+// era-check: hot
+fn lookup(&self) -> u32 { self.step() }
+fn step(&self) -> u32 { self.fill() }
+fn fill(&self) -> u32 { let v = Vec::new(); 0 }
+";
+        let f = lint_lib(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::HotAlloc);
+        assert_eq!(f[0].line, 4);
+        assert!(f[0].message.contains("lookup -> step -> fill"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn hot_chain_cut_by_call_site_allow() {
+        let src = "\
+// era-check: hot
+fn lookup(&self) -> u32 {
+    // era-check: allow(hot-alloc): cache fill on miss allocates by design
+    self.fill()
+}
+fn fill(&self) -> u32 { let v = Vec::new(); 0 }
+";
+        assert!(of_rule(&lint_lib(src), Rule::HotAlloc).is_empty());
+    }
+
+    #[test]
+    fn panic_path_reaches_through_calls() {
+        let src = "\
+// era-check: entry
+pub fn run(&self) { self.walk() }
+fn walk(&self) { self.nodes[0]; }
+fn unreached(&self) { x.unwrap(); }
+";
+        let f = lint_lib(src);
+        let pp = of_rule(&f, Rule::PanicPath);
+        assert_eq!(pp.len(), 1, "{f:?}");
+        assert_eq!(pp[0].line, 3);
+        assert!(pp[0].message.contains("run -> walk"), "{}", pp[0].message);
+        // `unreached` has an unwrap finding but no panic-path finding.
+        assert_eq!(of_rule(&f, Rule::Unwrap).len(), 1);
+    }
+
+    #[test]
+    fn allow_unwrap_also_satisfies_panic_path() {
+        let src = "\
+// era-check: entry
+pub fn run(&self) {
+    self.m.lock().expect(\"poisoned\"); // era-check: allow(unwrap): poisoned lock is fatal
+}
+";
+        assert!(lint_lib(src).is_empty(), "{:?}", lint_lib(src));
     }
 
     #[test]
@@ -543,5 +830,73 @@ fn real(s: &S) { s.read_at(0, buf); }
         let f = lint_lib(src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn lock_order_violation_direct_and_transitive() {
+        let src = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn good(&self) {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+    }
+    fn bad(&self) {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+    }
+    fn take_a(&self) { let ga = self.a.lock().unwrap(); }
+    fn bad_transitive(&self) {
+        let gb = self.b.lock().unwrap();
+        self.take_a();
+    }
+}
+";
+        let f = lint_source(Path::new("crates/string-store/src/locks.rs"), src);
+        let lo = of_rule(&f, Rule::LockOrder);
+        assert_eq!(lo.len(), 2, "{lo:?}");
+        assert_eq!(lo[0].line, 9);
+        assert_eq!(lo[1].line, 14);
+        assert!(lo[1].message.contains("take_a"), "{}", lo[1].message);
+    }
+
+    #[test]
+    fn lock_order_self_reacquire_is_flagged() {
+        let src = "\
+struct S { a: Mutex<u32> }
+impl S {
+    fn f(&self) {
+        let g = self.a.lock().unwrap();
+        let g2 = self.a.lock().unwrap();
+    }
+}
+";
+        let f = lint_source(Path::new("crates/string-store/src/locks.rs"), src);
+        assert_eq!(of_rule(&f, Rule::LockOrder).len(), 1);
+    }
+
+    #[test]
+    fn lock_order_allow_suppresses() {
+        let src = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn order(&self) { let ga = self.a.lock().unwrap(); let gb = self.b.lock().unwrap(); }
+    fn f(&self) {
+        let gb = self.b.lock().unwrap();
+        // era-check: allow(lock-order): disjoint shards, never the same pair
+        let ga = self.a.lock().unwrap();
+    }
+}
+";
+        let f = lint_source(Path::new("crates/string-store/src/locks.rs"), src);
+        assert!(of_rule(&f, Rule::LockOrder).is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn every_rule_has_a_stable_name() {
+        for &rule in Rule::ALL {
+            assert!(!rule.name().is_empty());
+        }
+        assert_eq!(Rule::ALL.len(), 6);
     }
 }

@@ -1,15 +1,22 @@
 //! The `era-check` command-line tool.
 //!
 //! ```text
-//! era-check lint [workspace-root]      # source lints over the workspace
-//! era-check fsck [--deep] <index-dir>  # verify on-disk index artifacts
-//! era-check interleave                 # exhaustive concurrency models
-//! era-check demo-index <dir>           # build a small index (CI fsck prey)
-//! era-check all [workspace-root]       # lint + interleave
+//! era-check lint [--format=github] [workspace-root]   # semantic source lints
+//! era-check fsck [--deep] <index-dir>                 # verify on-disk index artifacts
+//! era-check interleave                                # real code under every interleaving
+//! era-check demo-index <dir>                          # build a small index (CI fsck prey)
+//! era-check all [workspace-root]                      # lint + interleave
 //! ```
 //!
 //! Every subcommand prints its findings and exits non-zero when anything is
-//! wrong, so each maps directly onto a CI step.
+//! wrong, so each maps directly onto a CI step. `lint --format=github` emits
+//! one `::error file=...,line=...` workflow annotation per finding so
+//! violations surface inline on pull requests.
+//!
+//! `interleave` explores the workspace's real concurrent code and therefore
+//! needs a binary built with the `shim-sync` feature
+//! (`cargo run -p era-check --features shim-sync -- interleave`); a default
+//! build explains that instead of silently passing.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -19,13 +26,36 @@ use std::process::ExitCode;
 
 use era_check::fsck::{fsck_dir, FsckOptions};
 use era_check::lint::{find_workspace_root, lint_workspace};
-use era_check::models::run_all;
+
+/// How `lint` renders its findings.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LintFormat {
+    /// `file:line: [rule] excerpt` lines for humans.
+    Plain,
+    /// `::error` workflow-command annotations for GitHub Actions.
+    Github,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut args = args.iter().map(String::as_str);
     match args.next() {
-        Some("lint") => run_lint(args.next().map(PathBuf::from)),
+        Some("lint") => {
+            let mut format = LintFormat::Plain;
+            let mut root = None;
+            for arg in args {
+                match arg {
+                    "--format=plain" => format = LintFormat::Plain,
+                    "--format=github" => format = LintFormat::Github,
+                    other if other.starts_with("--format=") => {
+                        return usage(&format!("unknown lint format {other:?}"));
+                    }
+                    other if root.is_none() => root = Some(PathBuf::from(other)),
+                    other => return usage(&format!("unexpected argument {other:?}")),
+                }
+            }
+            run_lint(root, format)
+        }
         Some("fsck") => {
             let mut deep = false;
             let mut dir = None;
@@ -48,7 +78,7 @@ fn main() -> ExitCode {
         },
         Some("all") => {
             let root = args.next().map(PathBuf::from);
-            let lint = run_lint(root);
+            let lint = run_lint(root, LintFormat::Plain);
             let inter = run_interleave();
             if lint == ExitCode::SUCCESS && inter == ExitCode::SUCCESS {
                 ExitCode::SUCCESS
@@ -64,13 +94,19 @@ fn main() -> ExitCode {
 fn usage(problem: &str) -> ExitCode {
     eprintln!("era-check: {problem}");
     eprintln!(
-        "usage: era-check lint [root] | fsck [--deep] <dir> | interleave | demo-index <dir> | \
-         all [root]"
+        "usage: era-check lint [--format=github] [root] | fsck [--deep] <dir> | interleave | \
+         demo-index <dir> | all [root]"
     );
     ExitCode::FAILURE
 }
 
-fn run_lint(root: Option<PathBuf>) -> ExitCode {
+/// Escapes a value for a GitHub Actions workflow-command message, where
+/// `%`, CR and LF are the command syntax's meta characters.
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+fn run_lint(root: Option<PathBuf>, format: LintFormat) -> ExitCode {
     let root = match root {
         Some(r) => r,
         None => {
@@ -92,7 +128,23 @@ fn run_lint(root: Option<PathBuf>) -> ExitCode {
         }
     };
     for finding in &report.findings {
-        println!("{finding}");
+        match format {
+            LintFormat::Plain => println!("{finding}"),
+            LintFormat::Github => {
+                let mut message = finding.excerpt.clone();
+                if !finding.message.is_empty() {
+                    message.push('\n');
+                    message.push_str(&finding.message);
+                }
+                println!(
+                    "::error file={},line={},title=era-check({})::{}",
+                    github_escape(&finding.file.display().to_string()),
+                    finding.line,
+                    finding.rule,
+                    github_escape(&message)
+                );
+            }
+        }
     }
     println!("era-check lint: {} files, {} violation(s)", report.files, report.findings.len());
     if report.passed() {
@@ -121,12 +173,13 @@ fn run_fsck(dir: &Path, deep: bool) -> ExitCode {
     }
 }
 
+#[cfg(feature = "shim-sync")]
 fn run_interleave() -> ExitCode {
     let mut ok = true;
-    for report in run_all() {
+    for report in era_check::real::run_all() {
         let verdict = if report.ok() { "ok" } else { "FAILED" };
         println!(
-            "era-check interleave: {:<16} sound {:>4} schedules, broken caught: {:<5} [{verdict}]",
+            "era-check interleave: {:<19} sound {:>4} schedules, broken caught: {:<5} [{verdict}]",
             report.name,
             report.sound.schedules,
             !report.broken.passed(),
@@ -134,8 +187,11 @@ fn run_interleave() -> ExitCode {
         if let Some(v) = &report.sound.violation {
             println!("  sound variant violated under {}: {}", v.trace, v.message);
         }
+        if !report.sound.complete {
+            println!("  sound variant hit the schedule cap: the exploration proves nothing");
+        }
         if report.broken.passed() {
-            println!("  broken variant went uncaught: the model proves nothing");
+            println!("  broken variant went uncaught: the harness proves nothing");
         }
         ok &= report.ok();
     }
@@ -144,6 +200,16 @@ fn run_interleave() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+#[cfg(not(feature = "shim-sync"))]
+fn run_interleave() -> ExitCode {
+    eprintln!(
+        "era-check interleave: this binary was built without the `shim-sync` feature, so the \
+         library crates under test carry plain std sync primitives and there is nothing to \
+         explore. Rebuild with:\n    cargo run -p era-check --features shim-sync -- interleave"
+    );
+    ExitCode::FAILURE
 }
 
 fn run_demo_index(dir: &Path) -> ExitCode {

@@ -1,0 +1,92 @@
+//! Two-sided fixture suite for every lint rule.
+//!
+//! For each rule in [`Rule::ALL`] the corpus under `tests/fixtures/` must
+//! hold a `deny_<rule>.rs` file that the rule catches and an
+//! `allow_<rule>.rs` twin — the same violation escaped by a reasoned
+//! `// era-check: allow(<rule>): why` directive — that passes clean. A rule
+//! added without its fixture pair fails this suite, and so does a fixture
+//! the rule no longer catches: the rules stay two-sided by construction.
+//!
+//! Fixtures are fed through [`lint_source`] under a virtual path inside a
+//! library crate, so library-only rules (unwrap) and call-graph resolution
+//! apply; the workspace sweep itself excludes the fixture directory.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use era_check::lint::{lint_source, Finding, Rule};
+
+/// Where the corpus lives on disk.
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The rule's name with `-` mapped to `_`, as used in fixture file names.
+fn slug(rule: Rule) -> String {
+    rule.name().replace('-', "_")
+}
+
+/// Lints one fixture under a virtual library-crate path, so the policy and
+/// call-graph resolution match production library code.
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = fixture_dir().join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} is required but unreadable: {e}", path.display()));
+    lint_source(Path::new("crates/core/src/lint_fixture.rs"), &source)
+}
+
+#[test]
+fn every_rule_catches_its_deny_fixture() {
+    for &rule in Rule::ALL {
+        let findings = lint_fixture(&format!("deny_{}.rs", slug(rule)));
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "rule {} missed its deny fixture entirely; found: {findings:?}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn every_allow_twin_passes_clean() {
+    for &rule in Rule::ALL {
+        let findings = lint_fixture(&format!("allow_{}.rs", slug(rule)));
+        assert!(
+            findings.is_empty(),
+            "allow twin of {} should pass clean but was flagged: {findings:?}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn deny_fixtures_fire_only_their_own_rule() {
+    // Each deny fixture is minimal: it must trip its target rule and
+    // nothing else, so a fixture never silently tests the wrong thing.
+    for &rule in Rule::ALL {
+        let findings = lint_fixture(&format!("deny_{}.rs", slug(rule)));
+        let stray: Vec<&Finding> = findings.iter().filter(|f| f.rule != rule).collect();
+        assert!(
+            stray.is_empty(),
+            "deny fixture of {} also fired other rules: {stray:?}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn corpus_has_no_orphan_fixtures() {
+    // Every file in the corpus must belong to a known rule — an orphan is
+    // either a typo'd name (so some rule is silently untested) or leftovers
+    // from a removed rule.
+    let expected: BTreeSet<String> = Rule::ALL
+        .iter()
+        .flat_map(|&r| [format!("deny_{}.rs", slug(r)), format!("allow_{}.rs", slug(r))])
+        .collect();
+    let mut on_disk = BTreeSet::new();
+    for entry in std::fs::read_dir(fixture_dir()).expect("fixture dir must exist") {
+        let name = entry.expect("readable dir entry").file_name();
+        on_disk.insert(name.to_string_lossy().into_owned());
+    }
+    assert_eq!(on_disk, expected, "fixture corpus out of sync with Rule::ALL");
+}

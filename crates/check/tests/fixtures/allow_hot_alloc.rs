@@ -1,0 +1,12 @@
+// Fixture twin: the same hot-reachable allocation, forgiven by a
+// fn-level allow on the function that owns the sink.
+
+// era-check: allow(hot-alloc): fixture — the buffer is taken from a pool and only allocated on first use
+fn build_buffer() -> Vec<u8> {
+    Vec::new()
+}
+
+// era-check: hot
+pub fn scan_step() {
+    let _buf = build_buffer();
+}

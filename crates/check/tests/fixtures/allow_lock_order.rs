@@ -1,0 +1,22 @@
+// Fixture twin: the same out-of-order acquisition, escaped by a reasoned
+// allow directive on the acquiring line.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<usize>,
+    b: Mutex<usize>,
+}
+
+impl Pair {
+    pub fn canonical(&self) {
+        let _ga = self.a.lock();
+        let _gb = self.b.lock();
+    }
+
+    pub fn inverted(&self) {
+        let _gb = self.b.lock();
+        // era-check: allow(lock-order): fixture — no third path holds `b` while taking `a`, proven by the interleave suite
+        let _ga = self.a.lock();
+    }
+}

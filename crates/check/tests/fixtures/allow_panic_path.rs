@@ -1,0 +1,12 @@
+// Fixture twin: the same entry-reachable indexing, forgiven by a
+// fn-level allow on the function that owns the sink.
+
+// era-check: allow(panic-path): fixture — i is clamped to table.len() by every caller
+fn lookup(table: &[usize], i: usize) -> usize {
+    table[i]
+}
+
+// era-check: entry
+pub fn serve(table: &[usize], i: usize) -> usize {
+    lookup(table, i)
+}

@@ -1,0 +1,7 @@
+// Fixture twin: the same `unsafe` block, escaped by a reasoned allow
+// directive on the site.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    // era-check: allow(unsafe): fixture — non-emptiness asserted by the caller, pointer read is in-bounds
+    unsafe { *bytes.as_ptr() }
+}

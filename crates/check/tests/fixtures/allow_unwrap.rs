@@ -1,0 +1,7 @@
+// Fixture twin: the same `unwrap()`, escaped by a reasoned allow
+// directive on the call site.
+
+pub fn parse_count(input: &str) -> usize {
+    // era-check: allow(unwrap): fixture — input is produced by this module's own formatter
+    input.parse().unwrap()
+}

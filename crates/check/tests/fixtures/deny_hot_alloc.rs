@@ -1,0 +1,11 @@
+// Fixture: a `// era-check: hot` function must not reach allocation
+// through any call chain — the sink here is one hop away.
+
+fn build_buffer() -> Vec<u8> {
+    Vec::new()
+}
+
+// era-check: hot
+pub fn scan_step() {
+    let _buf = build_buffer();
+}

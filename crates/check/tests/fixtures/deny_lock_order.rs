@@ -1,0 +1,21 @@
+// Fixture: the first function fixes the canonical acquisition order
+// (`a` before `b`); the second acquires against it and must be flagged.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<usize>,
+    b: Mutex<usize>,
+}
+
+impl Pair {
+    pub fn canonical(&self) {
+        let _ga = self.a.lock();
+        let _gb = self.b.lock();
+    }
+
+    pub fn inverted(&self) {
+        let _gb = self.b.lock();
+        let _ga = self.a.lock();
+    }
+}

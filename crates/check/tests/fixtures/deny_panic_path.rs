@@ -1,0 +1,11 @@
+// Fixture: a function reachable from a `// era-check: entry` point must
+// not index without `get` — the sink here is one call away from the entry.
+
+fn lookup(table: &[usize], i: usize) -> usize {
+    table[i]
+}
+
+// era-check: entry
+pub fn serve(table: &[usize], i: usize) -> usize {
+    lookup(table, i)
+}

@@ -1,0 +1,12 @@
+// Fixture: a raw `read_at` outside the cursor/text-source seam must be
+// flagged — store I/O everywhere else goes through the accounted layers.
+
+pub struct Store;
+
+impl Store {
+    pub fn read_at(&self, _pos: u64, _buf: &mut [u8]) {}
+}
+
+pub fn fetch(store: &Store, buf: &mut [u8]) {
+    store.read_at(0, buf);
+}

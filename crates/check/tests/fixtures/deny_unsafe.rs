@@ -1,0 +1,6 @@
+// Fixture: any `unsafe` use must be flagged — the workspace census is
+// pinned at zero.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,5 @@
+// Fixture: an `unwrap()` in library code outside tests must be flagged.
+
+pub fn parse_count(input: &str) -> usize {
+    input.parse().unwrap()
+}

@@ -179,7 +179,9 @@ impl SuffixIndex {
 
     /// Answers a batch of typed queries in one engine pass (single-threaded;
     /// use `engine().threads(n).run(batch)` for a parallel pass).
+    // era-check: entry
     pub fn query_batch(&self, batch: &QueryBatch) -> EraResult<QueryResponse> {
+        // era-check: allow(panic-path): QueryEngine::run, not ConstructionPipeline::run — name-based graph over-approximation
         self.engine().run(batch)
     }
 
@@ -187,6 +189,7 @@ impl SuffixIndex {
     ///
     /// Thin wrapper over [`Self::engine`]; panics on store I/O failure (use
     /// [`Self::query_batch`] for fallible store-backed querying).
+    // era-check: entry
     pub fn contains(&self, pattern: &[u8]) -> bool {
         // era-check: allow(unwrap): panicking convenience API; try_ variants propagate
         self.engine().contains(pattern).expect("query I/O failed")
@@ -196,6 +199,7 @@ impl SuffixIndex {
     ///
     /// Thin wrapper over [`Self::engine`]; panics on store I/O failure (use
     /// [`Self::query_batch`] for fallible store-backed querying).
+    // era-check: entry
     pub fn count(&self, pattern: &[u8]) -> usize {
         // era-check: allow(unwrap): panicking convenience API; try_ variants propagate
         self.engine().count(pattern).expect("query I/O failed")
@@ -205,6 +209,7 @@ impl SuffixIndex {
     ///
     /// Thin wrapper over [`Self::engine`]; panics on store I/O failure (use
     /// [`Self::query_batch`] for fallible store-backed querying).
+    // era-check: entry
     pub fn find_all(&self, pattern: &[u8]) -> Vec<usize> {
         // era-check: allow(unwrap): panicking convenience API; try_ variants propagate
         self.engine().find_all(pattern).expect("query I/O failed")

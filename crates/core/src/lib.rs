@@ -142,7 +142,9 @@ pub mod query;
 pub mod report;
 pub mod scan;
 pub mod serial;
+pub mod sync;
 pub mod vertical;
+pub mod work_queue;
 
 pub use config::{EraConfig, HorizontalMethod, MemoryLayout, RangePolicy, SchedulerKind};
 pub use error::{EraError, EraResult};
@@ -157,6 +159,7 @@ pub use query::{Query, QueryAnswer, QueryBatch, QueryEngine, QueryResponse, Quer
 pub use report::{ConstructionReport, NodeReport};
 pub use serial::construct_serial;
 pub use vertical::{vertical_partition, PrefixFrequency, VerticalPartitioning, VirtualTree};
+pub use work_queue::WorkQueue;
 
 // Re-export the building blocks users commonly need alongside the index.
 pub use era_string_store as string_store;

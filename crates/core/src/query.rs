@@ -33,7 +33,7 @@
 //! attaches one automatically for store-backed indexes (sized by
 //! [`crate::EraConfig::cache_bytes`]).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::work_queue::WorkQueue;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -368,18 +368,21 @@ impl<'a> QueryEngine<'a> {
     ///
     /// Single queries skip the batch machinery: a direct trie-routed tree
     /// walk over a fresh text view, no per-batch bookkeeping.
+    // era-check: entry
     pub fn contains(&self, pattern: &[u8]) -> EraResult<bool> {
         let source = self.worker_source();
         Ok(self.tree.try_contains(&source, pattern)?)
     }
 
     /// Answers one count query.
+    // era-check: entry
     pub fn count(&self, pattern: &[u8]) -> EraResult<usize> {
         let source = self.worker_source();
         Ok(self.tree.try_count(&source, pattern)?)
     }
 
     /// Answers one locate query: every occurrence position, ascending.
+    // era-check: entry
     pub fn find_all(&self, pattern: &[u8]) -> EraResult<Vec<usize>> {
         let source = self.worker_source();
         let positions = self.tree.try_find_all(&source, pattern)?;
@@ -389,6 +392,8 @@ impl<'a> QueryEngine<'a> {
     /// Executes a batch: routes every pattern through the partition trie,
     /// runs the touched partitions on the worker pool, merges per-partition
     /// partials, and snapshots timing and I/O.
+    // era-check: entry
+    // era-check: allow(panic-path): query/partition indices enumerate the batch and routing table built in this fn
     pub fn run(&self, batch: &QueryBatch) -> EraResult<QueryResponse> {
         let start = Instant::now();
 
@@ -433,26 +438,26 @@ impl<'a> QueryEngine<'a> {
             let (io, cache) = source.counters();
             vec![(partials, io, cache)]
         } else {
-            let next = AtomicUsize::new(threads);
+            let queue = WorkQueue::new(work.len(), threads);
             let results: Vec<EraResult<WorkerOut>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|worker| {
-                        let next = &next;
+                        let queue = &queue;
                         let work = &work;
                         scope.spawn(move || {
                             let source = self.worker_source();
                             let mut out = Vec::new();
-                            let mut idx = worker;
-                            while idx < work.len() {
+                            let mut idx = Some(worker);
+                            while let Some(item) = idx {
                                 out.extend(run_work_items(
                                     self.tree,
                                     &source,
                                     batch,
                                     work,
-                                    idx,
-                                    idx + 1,
+                                    item,
+                                    item + 1,
                                 )?);
-                                idx = next.fetch_add(1, Ordering::Relaxed);
+                                idx = queue.claim();
                             }
                             let (io, cache) = source.counters();
                             Ok((out, io, cache))
@@ -558,6 +563,7 @@ impl<'a> QueryEngine<'a> {
 
 /// Runs the work items `work[from..to]` against one text source, producing
 /// `(query index, partial)` pairs.
+// era-check: allow(panic-path): work items index the partition table and batch they were cut from
 fn run_work_items(
     tree: &PartitionedSuffixTree,
     source: &WorkerSource<'_>,

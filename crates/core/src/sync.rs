@@ -1,0 +1,18 @@
+//! Sync-primitive facade: `std::sync` in production, the vendored
+//! `interleave::shim` wrappers under the `shim-sync` feature.
+//!
+//! The query engine's [`WorkQueue`](crate::work_queue::WorkQueue) imports
+//! its atomics from here, so the `era-check interleave` harness can compile
+//! the real work-distribution code with explorer yield points on every
+//! atomic operation. See `era_string_store::sync` for the same seam one
+//! layer down (block-cache shard mutexes and stats counters).
+//!
+//! `shim-sync` is strictly a verification configuration — it serializes
+//! execution under a scheduler token and must never be enabled in a build
+//! that wants real parallelism.
+
+#[cfg(not(feature = "shim-sync"))]
+pub use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[cfg(feature = "shim-sync")]
+pub use interleave::shim::{AtomicUsize, Ordering};

@@ -1,0 +1,86 @@
+//! Dynamic work distribution for the query worker pool.
+//!
+//! [`QueryEngine::run`](crate::QueryEngine::run) routes a batch to its
+//! candidate partitions and then lets `t` workers drain the resulting work
+//! list: items `0..reserved` are handed out statically (worker `i` starts on
+//! item `i`, so every worker touches memory immediately), and the remainder
+//! is claimed through one shared atomic cursor — the same reserved-first +
+//! dynamic-stealing shape the shared-memory construction scheduler uses.
+//!
+//! The queue lives in its own module (rather than inline in `query.rs`)
+//! because it is the query path's one piece of lock-free shared state: the
+//! `era-check interleave` harness compiles this *exact* type against the
+//! loom-style sync shims and exhaustively checks that no interleaving of
+//! `claim` calls can drop or double-issue an item.
+
+use crate::sync::{AtomicUsize, Ordering};
+
+/// A fixed-size list of work items `0..total`, drained by concurrent
+/// [`claim`](WorkQueue::claim) calls after `reserved` statically assigned
+/// items.
+#[derive(Debug)]
+pub struct WorkQueue {
+    /// Next unclaimed index; starts at `reserved`.
+    next: AtomicUsize,
+    /// One past the last valid item.
+    total: usize,
+}
+
+impl WorkQueue {
+    /// A queue over items `0..total` whose first `reserved` items are
+    /// pre-assigned by the caller and never handed out by [`claim`].
+    pub fn new(total: usize, reserved: usize) -> Self {
+        WorkQueue { next: AtomicUsize::new(reserved), total }
+    }
+
+    /// Claims the next unassigned item, or `None` when the queue is dry.
+    ///
+    /// The single `fetch_add` is the whole synchronization story: every
+    /// claimed index is unique because the increment is one atomic
+    /// read-modify-write.
+    pub fn claim(&self) -> Option<usize> {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        if idx < self.total {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Deliberately broken twin of [`claim`](WorkQueue::claim), compiled
+    /// only under `shim-sync`: the read-modify-write is split into a load
+    /// and a store, so two workers can claim the same item. Exists to prove
+    /// the interleaving harness two-sided — the sound `claim` passes every
+    /// interleaving, this one must be caught.
+    #[cfg(feature = "shim-sync")]
+    pub fn claim_split(&self) -> Option<usize> {
+        let idx = self.next.load(Ordering::Relaxed);
+        self.next.store(idx + 1, Ordering::Relaxed);
+        if idx < self.total {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_are_unique_and_exhaustive() {
+        let q = WorkQueue::new(5, 2);
+        assert_eq!(q.claim(), Some(2));
+        assert_eq!(q.claim(), Some(3));
+        assert_eq!(q.claim(), Some(4));
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.claim(), None);
+    }
+
+    #[test]
+    fn fully_reserved_queue_is_immediately_dry() {
+        let q = WorkQueue::new(3, 3);
+        assert_eq!(q.claim(), None);
+    }
+}

@@ -30,9 +30,9 @@
 //!
 //! [`StoreTextSource`]: crate::StoreTextSource
 
+use crate::sync::{AtomicU64, Mutex, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Default granularity of one cache entry, in decoded symbols.
 ///
@@ -86,6 +86,19 @@ impl CacheStats {
     /// Records `n` evicted blocks.
     pub fn add_evictions(&self, n: u64) {
         self.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Deliberately broken twin of [`CacheStats::add_insertion`], compiled
+    /// only under `shim-sync`: the read-modify-write is split into a load
+    /// and a store, the exact lost-update window the interleaving explorer
+    /// must be able to catch. Exists to prove the harness two-sided — the
+    /// sound counters pass every interleaving, this one must not.
+    #[cfg(feature = "shim-sync")]
+    pub fn add_insertion_split(&self, bytes: u64) {
+        let n = self.insertions.load(Ordering::Relaxed);
+        self.insertions.store(n + 1, Ordering::Relaxed);
+        let b = self.decoded_bytes.load(Ordering::Relaxed);
+        self.decoded_bytes.store(b + bytes, Ordering::Relaxed);
     }
 
     /// Takes a point-in-time copy of the counters.
@@ -184,6 +197,7 @@ impl Shard {
     }
 
     /// Unlinks `slot` from the LRU list (it must be linked).
+    // era-check: allow(panic-path): intrusive-LRU links index the shard's own slot arena
     fn unlink(&mut self, slot: usize) {
         let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
         match prev {
@@ -197,6 +211,7 @@ impl Shard {
     }
 
     /// Links `slot` at the head (most recently used).
+    // era-check: allow(panic-path): intrusive-LRU links index the shard's own slot arena
     fn link_front(&mut self, slot: usize) {
         self.slots[slot].prev = NIL;
         self.slots[slot].next = self.head;
@@ -207,6 +222,7 @@ impl Shard {
         self.head = slot;
     }
 
+    // era-check: allow(panic-path): map values are live slot indices in this shard
     fn get(&mut self, key: u64) -> Option<Arc<[u8]>> {
         let slot = *self.map.get(&key)?;
         self.unlink(slot);
@@ -216,6 +232,7 @@ impl Shard {
 
     /// Inserts (or refreshes) `key`, then evicts from the tail until the
     /// shard is back under `capacity`. Returns the number of evicted blocks.
+    // era-check: allow(panic-path): slot indices come from the map / free list of this shard
     fn insert(&mut self, key: u64, data: Arc<[u8]>, capacity: usize) -> u64 {
         if let Some(&slot) = self.map.get(&key) {
             // Two workers can miss the same block concurrently; the second
@@ -326,6 +343,7 @@ impl BlockCache {
         self.shards.len()
     }
 
+    // era-check: allow(panic-path): index is block % shards.len()
     fn shard(&self, block: u64) -> &Mutex<Shard> {
         &self.shards[(block % self.shards.len() as u64) as usize]
     }
@@ -363,6 +381,32 @@ impl BlockCache {
             data,
             self.shard_capacity,
         );
+        self.stats.add_insertion(bytes);
+        self.stats.add_evictions(evicted);
+        evicted
+    }
+
+    /// Deliberately broken twin of [`BlockCache::insert`], compiled only
+    /// under `shim-sync`: the capacity check happens in one critical section
+    /// and the insertion in a *second* one, so the decision can go stale in
+    /// between — two threads both see room and together overshoot the shard
+    /// capacity. Exists to prove the interleaving harness two-sided.
+    #[cfg(feature = "shim-sync")]
+    pub fn insert_split_accounting(&self, block: u64, data: Arc<[u8]>) -> u64 {
+        let bytes = data.len() as u64;
+        let fits = {
+            // era-check: allow(unwrap): poisoned lock is unrecoverable
+            let s = self.shard(block).lock().expect("block cache shard poisoned");
+            s.bytes + data.len() <= self.shard_capacity
+        };
+        // The stale `fits` decision disables the insert-time capacity bound.
+        let capacity = if fits { usize::MAX } else { self.shard_capacity };
+        let evicted = self
+            .shard(block)
+            .lock()
+            // era-check: allow(unwrap): poisoned lock is unrecoverable
+            .expect("block cache shard poisoned")
+            .insert(block, data, capacity);
         self.stats.add_insertion(bytes);
         self.stats.add_evictions(evicted);
         evicted

@@ -139,6 +139,7 @@ impl StringStore for DiskStore {
         &self.stats
     }
 
+    // era-check: allow(panic-path): take = min(buf.len(), len - pos) bounds both slices
     fn read_at(&self, pos: usize, buf: &mut [u8]) -> StoreResult<usize> {
         if pos > self.len {
             return Err(StoreError::OutOfBounds { pos, len: buf.len(), text_len: self.len });

@@ -64,6 +64,7 @@ pub mod packed_store;
 pub mod scanner;
 pub mod stats;
 pub mod store;
+pub mod sync;
 pub mod text_source;
 
 pub use alphabet::{Alphabet, AlphabetKind, TERMINAL};

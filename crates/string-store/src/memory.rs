@@ -84,6 +84,7 @@ impl StringStore for InMemoryStore {
         &self.stats
     }
 
+    // era-check: allow(panic-path): take = min(buf.len(), len - pos) bounds both slices
     fn read_at(&self, pos: usize, buf: &mut [u8]) -> StoreResult<usize> {
         if pos > self.text.len() {
             return Err(StoreError::OutOfBounds { pos, len: buf.len(), text_len: self.text.len() });

@@ -115,6 +115,7 @@ impl PackedCodec {
     /// This is the hot path of the packed stores: it runs once per block
     /// fetch, so it decodes via unaligned 64-bit loads — one load yields up to
     /// `64 / bits` symbols — with a byte-assembled tail for the final word.
+    // era-check: allow(panic-path): caller sizes data and out for count symbols at first_bit
     pub fn unpack(&self, data: &[u8], first_bit: u32, count: usize, out: &mut [u8]) {
         debug_assert!(first_bit < 8);
         debug_assert!(out.len() >= count);
@@ -212,6 +213,7 @@ impl PackedText {
     }
 
     /// Returns the symbol at position `i`.
+    // era-check: allow(panic-path): guarded by the i >= len early return
     pub fn get(&self, i: usize) -> Option<u8> {
         if i >= self.len {
             return None;
@@ -228,6 +230,7 @@ impl PackedText {
     /// Decodes `count` symbols starting at `start` into `out[..count]`,
     /// including the out-of-band terminal when the range covers it. The range
     /// must lie within the text.
+    // era-check: allow(panic-path): caller bounds start + count to len
     pub fn unpack_range(&self, start: usize, count: usize, out: &mut [u8]) {
         debug_assert!(start + count <= self.len);
         let body_len = self.len - 1;
@@ -242,6 +245,7 @@ impl PackedText {
     }
 
     /// Unpacks the whole text (body + terminal).
+    // era-check: allow(hot-alloc): whole-text convenience, never on the serving path; name-collides with the zero-alloc PackedCodec::unpack
     pub fn unpack(&self) -> Vec<u8> {
         let mut out = vec![0u8; self.len];
         self.unpack_range(0, self.len, &mut out);

@@ -564,6 +564,7 @@ impl StringStore for PackedDiskStore {
         &self.stats
     }
 
+    // era-check: allow(panic-path): span/window math is clamped to the packed length before slicing
     fn read_at(&self, pos: usize, buf: &mut [u8]) -> StoreResult<usize> {
         if pos > self.len {
             return Err(StoreError::OutOfBounds { pos, len: buf.len(), text_len: self.len });

@@ -71,6 +71,7 @@ impl TextSource for [u8] {
         if start > end {
             return Err(StoreError::OutOfBounds { pos: start, len: 0, text_len: self.len() });
         }
+        // era-check: allow(hot-alloc): iterator count(), not QueryEngine::count — name-based graph over-approximation
         Ok(self[start..end].iter().zip(pat).take_while(|(a, b)| a == b).count())
     }
 }
@@ -235,6 +236,7 @@ impl<'a> StoreTextSource<'a> {
             // positions that were never read (the buffer may hold zeroed or
             // partial data): empty it so a retry re-fetches instead of
             // serving garbage as text.
+            // era-check: allow(hot-alloc): Vec::clear frees nothing; name-collides with BlockCache::clear
             w.buf.clear();
         }
         filled
@@ -245,6 +247,7 @@ impl<'a> StoreTextSource<'a> {
         let window = self.window_symbols;
         let aligned_lo = lo / window * window;
         let aligned_hi = hi.div_ceil(window).saturating_mul(window).min(self.store.len());
+        // era-check: allow(hot-alloc): Vec::clear frees nothing; name-collides with BlockCache::clear
         w.buf.clear();
         w.buf.resize(aligned_hi - aligned_lo, 0);
         let got = self.store.read_at(aligned_lo, &mut w.buf)?;
@@ -263,6 +266,7 @@ impl<'a> StoreTextSource<'a> {
 
     /// Cached miss path: assemble the covering cache blocks, reading from the
     /// store (and populating the cache) only for blocks nobody decoded yet.
+    // era-check: allow(panic-path): window bounds are clamped to text_len before slicing
     fn fill_through_cache(
         &self,
         w: &mut Window,
@@ -276,6 +280,7 @@ impl<'a> StoreTextSource<'a> {
         let last = (hi - 1) / bs;
         let aligned_lo = first * bs;
         let aligned_hi = ((last + 1) * bs).min(text_len);
+        // era-check: allow(hot-alloc): Vec::clear frees nothing; name-collides with BlockCache::clear
         w.buf.clear();
         w.buf.resize(aligned_hi - aligned_lo, 0);
         w.start = aligned_lo;
@@ -286,6 +291,7 @@ impl<'a> StoreTextSource<'a> {
             // The expected length makes the lookup self-validating: an entry
             // of the wrong span (a cache wrongly shared across texts) is
             // rejected as a miss rather than trusted.
+            // era-check: allow(hot-alloc): BlockCache::get is allocation-free; name-collides with PackedText::get
             if let Some(data) = cache.get(block as u64, dst.len()) {
                 dst.copy_from_slice(&data);
                 self.local_cache.add_hit();
@@ -313,6 +319,7 @@ impl TextSource for StoreTextSource<'_> {
         self.store.len()
     }
 
+    // era-check: allow(panic-path): ensure() established w.start <= pos < w.start + buf.len()
     fn symbol_at(&self, pos: usize) -> StoreResult<u8> {
         let text_len = self.store.len();
         if pos >= text_len {
@@ -323,6 +330,7 @@ impl TextSource for StoreTextSource<'_> {
         Ok(w.buf[pos - w.start])
     }
 
+    // era-check: allow(panic-path): ensure window covers lo..lo + need
     fn common_prefix(&self, start: usize, end: usize, pat: &[u8]) -> StoreResult<usize> {
         let text_len = self.store.len();
         let end = end.min(text_len);
@@ -336,6 +344,7 @@ impl TextSource for StoreTextSource<'_> {
         self.ensure(start, start + need)?;
         let w = self.window.borrow();
         let lo = start - w.start;
+        // era-check: allow(hot-alloc): iterator count(), not QueryEngine::count — name-based graph over-approximation
         Ok(w.buf[lo..lo + need].iter().zip(pat).take_while(|(a, b)| a == b).count())
     }
 }

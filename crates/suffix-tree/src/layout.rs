@@ -269,6 +269,7 @@ impl FlatTree {
     }
 
     /// Borrow a node record.
+    // era-check: allow(panic-path): node ids are validated by validate_flat_structure on load
     pub fn node(&self, id: NodeId) -> &FlatNode {
         &self.nodes[id as usize]
     }
@@ -297,6 +298,7 @@ impl FlatTree {
     /// Looks up the child of `id` whose incoming edge starts with `c`: a
     /// binary search over the node's contiguous child run.
     // era-check: hot
+    // era-check: allow(panic-path): children_range is validated against nodes.len() on load
     pub fn child_starting_with(&self, id: NodeId, c: u8) -> Option<NodeId> {
         let range = self.node(id).children_range();
         let slice = &self.nodes[range.start as usize..range.end as usize];
@@ -312,6 +314,7 @@ impl FlatTree {
     /// read-avoidance device only, the text stays authoritative, and a stale
     /// cache entry falls back to a sibling scan instead of reporting a false
     /// `NoMatch`.
+    // era-check: allow(panic-path): matched < pattern.len() is the walk loop invariant
     pub fn try_match_pattern<T: TextSource + ?Sized>(
         &self,
         text: &T,
@@ -360,6 +363,7 @@ impl FlatTree {
 
     /// Matches as much of `pattern` as possible along the edge into `child`.
     // era-check: hot
+    // era-check: allow(panic-path): *matched < pattern.len() checked by the caller
     fn match_edge<T: TextSource + ?Sized>(
         &self,
         text: &T,

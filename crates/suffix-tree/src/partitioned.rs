@@ -90,6 +90,7 @@ impl PrefixTrie {
         PrefixTrie { nodes, edges }
     }
 
+    // era-check: allow(panic-path): edges_start/edges_len are produced by build over this arena
     fn children(&self, node: u32) -> &[(u8, u32)] {
         let n = &self.nodes[node as usize];
         &self.edges[n.edges_start as usize..(n.edges_start + n.edges_len) as usize]
@@ -116,6 +117,7 @@ impl PrefixTrie {
     /// suffixes start with the pattern). If a partition prefix ends before the
     /// pattern does, only that partition is a candidate (prefixes are
     /// prefix-free).
+    // era-check: allow(panic-path): trie node ids are produced by build
     pub fn candidates(&self, pattern: &[u8]) -> Vec<u32> {
         let mut cur = 0u32;
         for &c in pattern {
@@ -133,6 +135,7 @@ impl PrefixTrie {
         out
     }
 
+    // era-check: allow(panic-path): trie node ids are produced by build
     fn collect_partitions(&self, node: u32, out: &mut Vec<u32>) {
         let mut stack = vec![node];
         while let Some(cur) = stack.pop() {
@@ -229,6 +232,7 @@ impl PartitionedSuffixTree {
     /// Whether `pattern` occurs in the text behind any [`TextSource`].
     ///
     /// Stops at the first candidate partition that matches.
+    // era-check: allow(panic-path): candidate partitions come from the trie built over this table
     pub fn try_contains<T: TextSource + ?Sized>(
         &self,
         text: &T,
@@ -252,6 +256,7 @@ impl PartitionedSuffixTree {
     }
 
     /// Number of occurrences of `pattern` behind any [`TextSource`].
+    // era-check: allow(panic-path): candidate partitions come from the trie built over this table
     pub fn try_count<T: TextSource + ?Sized>(
         &self,
         text: &T,
@@ -275,6 +280,7 @@ impl PartitionedSuffixTree {
 
     /// All occurrence positions of `pattern` behind any [`TextSource`], in
     /// ascending position order.
+    // era-check: allow(panic-path): candidate partitions come from the trie built over this table
     pub fn try_find_all<T: TextSource + ?Sized>(
         &self,
         text: &T,

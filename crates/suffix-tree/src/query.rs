@@ -34,6 +34,7 @@ pub enum MatchResult {
 impl SuffixTree {
     /// Matches `pattern` from the root, resolving edge labels through any
     /// [`TextSource`].
+    // era-check: allow(panic-path): matched < pattern.len() is the walk loop invariant
     pub fn try_match_pattern<T: TextSource + ?Sized>(
         &self,
         text: &T,
@@ -101,6 +102,7 @@ impl SuffixTree {
 
     /// Matches as much of `pattern` as possible along the edge into `child`.
     /// Returns `Some(result)` when matching terminates on this edge.
+    // era-check: allow(panic-path): *matched < pattern.len() checked by the caller
     fn match_edge<T: TextSource + ?Sized>(
         &self,
         text: &T,

@@ -47,6 +47,8 @@
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+pub mod shim;
+
 /// One atomic step of a modelled thread: runs against the shared state `S`
 /// and the thread's private register file `R`.
 pub type Step<S, R> = Box<dyn Fn(&mut S, &mut R)>;

@@ -1,0 +1,692 @@
+//! Loom-style sync shims: run *real* concurrent code under the explorer.
+//!
+//! The step-closure [`Model`](crate::Model) in the crate root is fine for
+//! *models* of concurrent algorithms, but a model can silently drift from the
+//! code it imitates. This module removes the gap: library code swaps its
+//! `std::sync` types for the drop-in wrappers here (behind a `shim-sync`
+//! cargo feature), and [`RealModel`] then drives the *actual* methods —
+//! `BlockCache::insert`, a work queue's `claim` — through every interleaving
+//! of their lock acquisitions and atomic operations.
+//!
+//! # How it works
+//!
+//! Each schedule spawns the modelled closures on real OS threads, but a
+//! central token serializes them: exactly one thread runs at a time, and
+//! every visible operation ([`Mutex::lock`], [`AtomicUsize::load`], …) first
+//! parks the thread and hands the token to a scheduler-chosen successor.
+//! The choice made at each handoff is recorded; depth-first search then
+//! replays the run with the last choice advanced to its next alternative
+//! until the whole tree is exhausted. Replays are deterministic because the
+//! code under test is deterministic between visible operations.
+//!
+//! Blocking is modelled, not real: a shim mutex that is already held parks
+//! the acquiring thread as *blocked* so the scheduler never picks it until
+//! the holder releases. If every live thread is blocked the schedule is a
+//! deadlock, reported as a violation with its trace.
+//!
+//! Outside of [`RealModel::check`] the wrappers degrade to their `std`
+//! counterparts with no yield points, so a crate built with `shim-sync` still
+//! passes its ordinary unit tests.
+
+use crate::Violation;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+
+pub use std::sync::atomic::Ordering;
+
+/// The panic payload used to unwind modelled threads after a deadlock (or
+/// when a run is being torn down). The panic hook stays quiet for it.
+struct Abort;
+
+thread_local! {
+    /// Index of the modelled thread running on this OS thread, if any.
+    static THREAD_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Scheduler state of one modelled thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    /// Eligible to receive the token.
+    Ready,
+    /// Currently holding the token.
+    Running,
+    /// Parked at a shim lock held by another thread (`.0` is the lock id).
+    Blocked(usize),
+    /// Its closure returned.
+    Done,
+}
+
+/// Shared scheduler state for the run in progress.
+#[derive(Default)]
+struct CentralState {
+    /// Whether a run is active (gates the shims' yield points).
+    active: bool,
+    threads: Vec<TState>,
+    /// The token holder.
+    current: Option<usize>,
+    /// Which shim locks are held, by lock id.
+    held: HashMap<usize, bool>,
+    /// Decision prefix to replay this run.
+    forced: Vec<usize>,
+    /// Decisions actually taken this run.
+    schedule: Vec<usize>,
+    /// The runnable set at each decision, for DFS advancement.
+    choices: Vec<Vec<usize>>,
+    /// `(thread, op)` per token grant, for violation traces.
+    trace: Vec<(usize, String)>,
+    /// The operation each thread will perform once granted.
+    pending_op: Vec<String>,
+    /// All live threads blocked: the schedule deadlocked.
+    deadlock: bool,
+    /// Tear the run down (deadlock found or a thread panicked).
+    abort: bool,
+}
+
+struct Central {
+    state: StdMutex<CentralState>,
+    cv: Condvar,
+}
+
+impl Central {
+    fn get() -> &'static Central {
+        static CENTRAL: OnceLock<Central> = OnceLock::new();
+        CENTRAL.get_or_init(|| Central {
+            state: StdMutex::new(CentralState::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, CentralState> {
+        // An aborted run unwinds modelled threads while they hold this lock;
+        // the poison flag carries no information for the next run.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Picks the next token holder among runnable threads, recording the choice.
+/// Returns `None` when every thread is done; flags a deadlock (and panics
+/// the calling modelled thread) when live threads remain but none can run.
+fn decide(st: &mut CentralState) -> Option<usize> {
+    let runnable: Vec<usize> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, TState::Ready | TState::Running))
+        .map(|(i, _)| i)
+        .collect();
+    if runnable.is_empty() {
+        if st.threads.iter().all(|s| *s == TState::Done) {
+            st.current = None;
+            return None;
+        }
+        st.deadlock = true;
+        st.abort = true;
+        st.current = None;
+        return None;
+    }
+    let step = st.schedule.len();
+    let chosen = match st.forced.get(step) {
+        Some(&f) if runnable.contains(&f) => f,
+        // A forced decision can stop being runnable only if the program is
+        // nondeterministic between visible ops; fall back to exploring.
+        _ => runnable[0],
+    };
+    st.choices.push(runnable);
+    st.schedule.push(chosen);
+    st.trace.push((chosen, st.pending_op[chosen].clone()));
+    st.current = Some(chosen);
+    Some(chosen)
+}
+
+/// Parks the calling modelled thread with `state`, runs one scheduling
+/// decision, and blocks until the token comes back. No-op outside a run.
+fn hand_off(me: usize, parked_as: TState, op: String) {
+    let central = Central::get();
+    let mut st = central.lock();
+    if !st.active {
+        return;
+    }
+    st.threads[me] = parked_as;
+    st.pending_op[me] = op;
+    decide(&mut st);
+    central.cv.notify_all();
+    while st.current != Some(me) {
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        st = central.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+    }
+    st.threads[me] = TState::Running;
+}
+
+/// The yield point every shim operation passes through: one scheduling
+/// decision *before* the operation becomes visible.
+fn yield_op(op: &str) {
+    if let Some(me) = THREAD_INDEX.with(|t| t.get()) {
+        hand_off(me, TState::Ready, op.to_string());
+    }
+}
+
+/// Global id source for shim locks (ids only need to be unique, not dense).
+fn next_lock_id() -> usize {
+    static NEXT: StdAtomicUsize = StdAtomicUsize::new(0);
+    NEXT.fetch_add(1, StdOrdering::Relaxed)
+}
+
+/// Drop-in replacement for [`std::sync::Mutex`] with an explorer yield point
+/// on every acquisition. Outside a run it behaves exactly like the real one.
+pub struct Mutex<T> {
+    id: usize,
+    inner: StdMutex<T>,
+}
+
+/// The guard returned by [`Mutex::lock`]; releases the modelled lock on drop.
+pub struct MutexGuard<'a, T> {
+    lock_id: usize,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a shim mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex { id: next_lock_id(), inner: StdMutex::new(value) }
+    }
+
+    /// Acquires the lock, parking (in model time) while another modelled
+    /// thread holds it. The `Result` mirrors `std`'s poisoning signature so
+    /// call sites keep their `.lock().expect(…)` shape; the shim itself
+    /// never returns `Err`.
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, std::sync::PoisonError<MutexGuard<'_, T>>> {
+        if let Some(me) = THREAD_INDEX.with(|t| t.get()) {
+            yield_op(&format!("lock(#{})", self.id));
+            loop {
+                let central = Central::get();
+                let mut st = central.lock();
+                if !st.active {
+                    break;
+                }
+                if !st.held.get(&self.id).copied().unwrap_or(false) {
+                    st.held.insert(self.id, true);
+                    break;
+                }
+                drop(st);
+                // Held elsewhere: park as blocked until a release readies us.
+                hand_off(me, TState::Blocked(self.id), format!("blocked(#{})", self.id));
+            }
+        }
+        // The token serializes modelled threads, so the real mutex is always
+        // uncontended here; unwrap-or-recover keeps abort unwinds quiet.
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        Ok(MutexGuard { lock_id: self.id, inner: Some(inner) })
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> Result<T, std::sync::PoisonError<T>> {
+        Ok(self.inner.into_inner().unwrap_or_else(|p| p.into_inner()))
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if THREAD_INDEX.with(|t| t.get()).is_none() {
+            return;
+        }
+        let central = Central::get();
+        let mut st = central.lock();
+        if !st.active {
+            return;
+        }
+        st.held.insert(self.lock_id, false);
+        // Threads parked on this lock become schedulable again.
+        for s in st.threads.iter_mut() {
+            if *s == TState::Blocked(self.lock_id) {
+                *s = TState::Ready;
+            }
+        }
+    }
+}
+
+macro_rules! shim_atomic {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// Drop-in atomic with an explorer yield point before every
+        /// operation, making each read and write a schedulable event.
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates the atomic with an initial value.
+            pub const fn new(v: $prim) -> Self {
+                Self { inner: <$std>::new(v) }
+            }
+
+            /// Atomic load (one visible event under the explorer).
+            pub fn load(&self, order: Ordering) -> $prim {
+                yield_op(concat!(stringify!($name), "::load"));
+                self.inner.load(order)
+            }
+
+            /// Atomic store (one visible event under the explorer).
+            pub fn store(&self, v: $prim, order: Ordering) {
+                yield_op(concat!(stringify!($name), "::store"));
+                self.inner.store(v, order)
+            }
+
+            /// Atomic fetch-add (one visible event: the RMW is indivisible).
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                yield_op(concat!(stringify!($name), "::fetch_add"));
+                self.inner.fetch_add(v, order)
+            }
+
+            /// Atomic fetch-sub (one visible event: the RMW is indivisible).
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                yield_op(concat!(stringify!($name), "::fetch_sub"));
+                self.inner.fetch_sub(v, order)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // No yield: Debug output is diagnostics, not modelled code.
+                write!(f, concat!(stringify!($name), "({})"), self.inner.load(Ordering::SeqCst))
+            }
+        }
+    };
+}
+
+shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+/// The result of exploring real code under the shims.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RealOutcome {
+    /// Number of complete schedules executed.
+    pub schedules: usize,
+    /// The first violating schedule, if any.
+    pub violation: Option<Violation>,
+    /// Whether the whole decision tree was explored (`false` when the
+    /// schedule cap stopped the search early).
+    pub complete: bool,
+}
+
+impl RealOutcome {
+    /// Whether every explored interleaving satisfied the invariant.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// A model over *real* code: a shared-state constructor plus named thread
+/// closures that exercise it through the shim sync types.
+pub struct RealModel<S, F: Fn() -> S> {
+    init: F,
+    threads: Vec<NamedThread<S>>,
+    max_schedules: usize,
+}
+
+/// One named thread body of a [`RealModel`].
+type NamedThread<S> = (String, Box<dyn Fn(&S) + Sync>);
+
+/// Serializes explorations: the scheduler is process-global, so two
+/// concurrently running `check` calls (e.g. parallel `cargo test` threads)
+/// must take turns.
+fn exploration_slot() -> StdMutexGuard<'static, ()> {
+    static SLOT: OnceLock<StdMutex<()>> = OnceLock::new();
+    SLOT.get_or_init(|| StdMutex::new(())).lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Installs (once) a panic hook that stays silent for explorer aborts.
+fn quiet_abort_panics() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !info.payload().is::<Abort>() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl<S: Sync, F: Fn() -> S> RealModel<S, F> {
+    /// A model whose shared state is rebuilt by `init` for every schedule.
+    pub fn new(init: F) -> Self {
+        RealModel { init, threads: Vec::new(), max_schedules: 100_000 }
+    }
+
+    /// Adds a modelled thread: `f` runs against the shared state on its own
+    /// OS thread, once per schedule.
+    pub fn thread(mut self, name: impl Into<String>, f: impl Fn(&S) + Sync + 'static) -> Self {
+        self.threads.push((name.into(), Box::new(f)));
+        self
+    }
+
+    /// Caps the number of schedules (default 100 000); an exhausted cap is
+    /// reported via [`RealOutcome::complete`], never as a pass.
+    pub fn max_schedules(mut self, cap: usize) -> Self {
+        self.max_schedules = cap;
+        self
+    }
+
+    /// Explores every interleaving of the threads' visible operations,
+    /// evaluating `invariant` on the final state of each schedule.
+    pub fn check(&self, invariant: impl Fn(&S) -> Result<(), String>) -> RealOutcome {
+        let _slot = exploration_slot();
+        quiet_abort_panics();
+        let mut forced: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            if schedules >= self.max_schedules {
+                return RealOutcome { schedules, violation: None, complete: false };
+            }
+            let run = self.run_one(&forced, &invariant);
+            schedules += 1;
+            if let Some(message) = run.failure {
+                return RealOutcome {
+                    schedules,
+                    violation: Some(Violation {
+                        message,
+                        schedule: run.schedule.clone(),
+                        trace: self.render(&run.trace),
+                    }),
+                    complete: false,
+                };
+            }
+            // DFS: advance the deepest decision that still has an untried
+            // alternative; the run prefix up to it is replayed verbatim.
+            match next_forced(&run.schedule, &run.choices) {
+                Some(next) => forced = next,
+                None => return RealOutcome { schedules, violation: None, complete: true },
+            }
+        }
+    }
+
+    /// Executes one schedule: fresh state, fresh threads, `forced` replayed.
+    /// The invariant is evaluated on the final state unless the run already
+    /// failed harder (panic or deadlock).
+    fn run_one(
+        &self,
+        forced: &[usize],
+        invariant: &impl Fn(&S) -> Result<(), String>,
+    ) -> RunResult {
+        let n = self.threads.len();
+        let central = Central::get();
+        {
+            let mut st = central.lock();
+            *st = CentralState {
+                active: true,
+                threads: vec![TState::Ready; n],
+                forced: forced.to_vec(),
+                pending_op: vec!["start".to_string(); n],
+                ..CentralState::default()
+            };
+            decide(&mut st);
+        }
+        let state = (self.init)();
+        let mut panic_message: Option<String> = None;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (i, (_, f)) in self.threads.iter().enumerate() {
+                let state = &state;
+                handles.push(scope.spawn(move || {
+                    THREAD_INDEX.with(|t| t.set(Some(i)));
+                    // Wait for the token before touching shared state.
+                    {
+                        let c = Central::get();
+                        let mut st = c.lock();
+                        while st.current != Some(i) {
+                            if st.abort {
+                                return;
+                            }
+                            st = c.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                        }
+                        st.threads[i] = TState::Running;
+                    }
+                    f(state);
+                    // Finished: give the token away for good.
+                    let c = Central::get();
+                    let mut st = c.lock();
+                    st.threads[i] = TState::Done;
+                    decide(&mut st);
+                    c.cv.notify_all();
+                }));
+            }
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    if !payload.is::<Abort>() {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        panic_message = Some(format!("modelled thread panicked: {msg}"));
+                        // Unblock any threads still parked on the scheduler.
+                        let c = Central::get();
+                        c.lock().abort = true;
+                        c.cv.notify_all();
+                    }
+                }
+            }
+        });
+        let mut st = central.lock();
+        st.active = false;
+        let deadlock = st.deadlock;
+        let (schedule, choices, trace) = (
+            std::mem::take(&mut st.schedule),
+            std::mem::take(&mut st.choices),
+            std::mem::take(&mut st.trace),
+        );
+        drop(st);
+        let failure = if let Some(m) = panic_message {
+            Some(m)
+        } else if deadlock {
+            Some("deadlock: every live thread is blocked on a shim lock".to_string())
+        } else {
+            invariant(&state).err()
+        };
+        RunResult { schedule, choices, trace, failure }
+    }
+
+    /// Renders a trace as `name[op] name[op] …`.
+    fn render(&self, trace: &[(usize, String)]) -> String {
+        trace
+            .iter()
+            .map(|(ti, op)| format!("{}[{}]", self.threads[*ti].0, op))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// What one schedule produced, plus the bookkeeping DFS needs.
+struct RunResult {
+    schedule: Vec<usize>,
+    choices: Vec<Vec<usize>>,
+    trace: Vec<(usize, String)>,
+    failure: Option<String>,
+}
+
+/// The DFS successor of `schedule`: the longest prefix whose last decision
+/// can be advanced to the next untried alternative in its runnable set.
+fn next_forced(schedule: &[usize], choices: &[Vec<usize>]) -> Option<Vec<usize>> {
+    for i in (0..schedule.len()).rev() {
+        let set = &choices[i];
+        let pos = set.iter().position(|&c| c == schedule[i])?;
+        if pos + 1 < set.len() {
+            let mut next = schedule[..i].to_vec();
+            next.push(set[pos + 1]);
+            return Some(next);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_counter_is_sound_under_real_threads() {
+        let outcome = RealModel::new(|| AtomicUsize::new(0))
+            .thread("a", |n: &AtomicUsize| {
+                n.fetch_add(1, Ordering::SeqCst);
+            })
+            .thread("b", |n: &AtomicUsize| {
+                n.fetch_add(1, Ordering::SeqCst);
+            })
+            .check(|n| {
+                let v = n.inner.load(Ordering::SeqCst);
+                if v == 2 {
+                    Ok(())
+                } else {
+                    Err(format!("n = {v}"))
+                }
+            });
+        assert!(outcome.passed(), "{:?}", outcome.violation);
+        assert!(outcome.complete);
+    }
+
+    #[test]
+    fn split_read_modify_write_is_caught() {
+        // load + store as separate atomics: the classic lost update, written
+        // against the real shim types rather than a step model.
+        let outcome = RealModel::new(|| AtomicUsize::new(0))
+            .thread("a", |n: &AtomicUsize| {
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+            })
+            .thread("b", |n: &AtomicUsize| {
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+            })
+            .check(|n| {
+                let v = n.inner.load(Ordering::SeqCst);
+                if v == 2 {
+                    Ok(())
+                } else {
+                    Err(format!("lost update: n = {v}"))
+                }
+            });
+        let v = outcome.violation.expect("explorer must catch the lost update");
+        assert!(v.message.contains("lost update"), "{}", v.message);
+        assert!(v.trace.contains("load"), "trace should name the ops: {}", v.trace);
+    }
+
+    #[test]
+    fn mutexed_increments_are_sound() {
+        let outcome = RealModel::new(|| Mutex::new(0u32))
+            .thread("a", |m: &Mutex<u32>| {
+                *m.lock().expect("shim never poisons") += 1;
+            })
+            .thread("b", |m: &Mutex<u32>| {
+                *m.lock().expect("shim never poisons") += 1;
+            })
+            .check(|m| {
+                let v = *m.inner.lock().unwrap_or_else(|p| p.into_inner());
+                if v == 2 {
+                    Ok(())
+                } else {
+                    Err(format!("n = {v}"))
+                }
+            });
+        assert!(outcome.passed(), "{:?}", outcome.violation);
+        assert!(outcome.complete);
+    }
+
+    #[test]
+    fn check_then_act_across_unlock_is_caught() {
+        // Read under the lock, decide, re-acquire and act: the decision can
+        // go stale between the two critical sections.
+        let outcome = RealModel::new(|| Mutex::new(0u32))
+            .thread("a", |m: &Mutex<u32>| {
+                let seen = *m.lock().expect("shim never poisons");
+                if seen == 0 {
+                    *m.lock().expect("shim never poisons") += 1;
+                }
+            })
+            .thread("b", |m: &Mutex<u32>| {
+                let seen = *m.lock().expect("shim never poisons");
+                if seen == 0 {
+                    *m.lock().expect("shim never poisons") += 1;
+                }
+            })
+            .check(|m| {
+                let v = *m.inner.lock().unwrap_or_else(|p| p.into_inner());
+                if v <= 1 {
+                    Ok(())
+                } else {
+                    Err(format!("double init: n = {v}"))
+                }
+            });
+        let v = outcome.violation.expect("explorer must catch the stale check");
+        assert!(v.message.contains("double init"), "{}", v.message);
+    }
+
+    #[test]
+    fn lock_cycle_reports_deadlock() {
+        struct TwoLocks {
+            a: Mutex<()>,
+            b: Mutex<()>,
+        }
+        let outcome = RealModel::new(|| TwoLocks { a: Mutex::new(()), b: Mutex::new(()) })
+            .thread("ab", |s: &TwoLocks| {
+                let _a = s.a.lock().expect("shim never poisons");
+                let _b = s.b.lock().expect("shim never poisons");
+            })
+            .thread("ba", |s: &TwoLocks| {
+                let _b = s.b.lock().expect("shim never poisons");
+                let _a = s.a.lock().expect("shim never poisons");
+            })
+            .check(|_| Ok(()));
+        let v = outcome.violation.expect("explorer must find the lock cycle");
+        assert!(v.message.contains("deadlock"), "{}", v.message);
+    }
+
+    #[test]
+    fn schedule_cap_is_reported_as_incomplete() {
+        let outcome = RealModel::new(|| AtomicUsize::new(0))
+            .thread("a", |n: &AtomicUsize| {
+                n.fetch_add(1, Ordering::SeqCst);
+            })
+            .thread("b", |n: &AtomicUsize| {
+                n.fetch_add(1, Ordering::SeqCst);
+            })
+            .max_schedules(1)
+            .check(|_| Ok(()));
+        assert!(!outcome.complete);
+        assert_eq!(outcome.schedules, 1);
+    }
+
+    #[test]
+    fn shims_are_transparent_outside_a_model() {
+        // No run active: the wrappers behave like plain std types.
+        let m = Mutex::new(7u32);
+        *m.lock().expect("std semantics") += 1;
+        assert_eq!(*m.lock().expect("std semantics"), 8);
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+    }
+}
