@@ -57,6 +57,14 @@ pub struct FnInfo {
     pub hot: bool,
     /// `// era-check: entry` applies — a serving entry point.
     pub entry: bool,
+    /// `// era-check: source` applies — a trust-boundary parsing seam.
+    pub source: bool,
+    /// Token index range `[fn keyword, body open)` of the signature, for
+    /// parameter inspection by the taint pass.
+    pub sig: (usize, usize),
+    /// Token index range of the body including both braces, if the fn has
+    /// one (`None` for trait-method declarations).
+    pub body: Option<(usize, usize)>,
     /// Fn-level `allow(rule)` directives bound to this declaration.
     pub allows: Vec<String>,
     /// Calls made from this fn's body.
@@ -129,7 +137,7 @@ const KEYWORDS: &[&str] = &[
     "Self", "async", "await", "yield", "extern",
 ];
 
-fn is_keyword(s: &str) -> bool {
+pub(crate) fn is_keyword(s: &str) -> bool {
     KEYWORDS.contains(&s)
 }
 
@@ -137,7 +145,7 @@ fn is_keyword(s: &str) -> bool {
 /// invariant checks (flagging the indexing inside every `debug_assert!`
 /// would drown the panic-path rule in noise), and `matches!` bodies are
 /// patterns, not expressions.
-const SKIPPED_MACROS: &[&str] = &[
+pub(crate) const SKIPPED_MACROS: &[&str] = &[
     "assert",
     "assert_eq",
     "assert_ne",
@@ -243,6 +251,7 @@ struct Walker<'a> {
     dir_line: usize,
     pending_hot: bool,
     pending_entry: bool,
+    pending_source: bool,
     pending_allows: Vec<String>,
     pending_test: bool,
     /// Guards of `m.lock()` temporaries, alive to the end of the statement.
@@ -292,7 +301,11 @@ impl<'a> Walker<'a> {
                 match d {
                     Directive::Hot => self.pending_hot = true,
                     Directive::Entry => self.pending_entry = true,
+                    Directive::Source => self.pending_source = true,
                     Directive::Allow(r) => self.pending_allows.push(r.clone()),
+                    // Site-level only: the taint pass reads these straight
+                    // off the directive table.
+                    Directive::Sanitized(_) => {}
                 }
             }
             self.dir_line += 1;
@@ -473,6 +486,7 @@ pub fn extract_file(rel: &Path, lexed: &Lexed, lock_classes: &BTreeSet<String>) 
         dir_line: 1,
         pending_hot: false,
         pending_entry: false,
+        pending_source: false,
         pending_allows: Vec::new(),
         pending_test: false,
         stmt_temps: Vec::new(),
@@ -592,6 +606,9 @@ pub fn extract_file(rel: &Path, lexed: &Lexed, lock_classes: &BTreeSet<String>) 
                     is_test: w.in_test() || w.pending_test,
                     hot: std::mem::take(&mut w.pending_hot),
                     entry: std::mem::take(&mut w.pending_entry),
+                    source: std::mem::take(&mut w.pending_source),
+                    sig: (i, body.unwrap_or(j)),
+                    body: body.map(|b| (b, skip_group(toks, b))),
                     allows: std::mem::take(&mut w.pending_allows),
                     calls: Vec::new(),
                     allocs: Vec::new(),
@@ -845,6 +862,33 @@ fn unmarked() {}
         assert!(items.fns[1].entry);
         assert!(items.fns[2].allows_rule("panic-path"));
         assert!(!items.fns[3].hot && !items.fns[3].entry && items.fns[3].allows.is_empty());
+    }
+
+    #[test]
+    fn source_directive_and_token_ranges() {
+        let src = "\
+// era-check: source
+fn read_u32(buf: &[u8]) -> u32 { helper() }
+fn plain() {}
+trait T { fn decl(&self); }
+";
+        let lexed = lex(src);
+        let classes = collect_lock_classes(&lexed);
+        let items = extract_file(Path::new("x.rs"), &lexed, &classes);
+        let read = &items.fns[0];
+        assert!(read.source);
+        assert!(!items.fns[1].source, "source must not leak to the next fn");
+        // The signature range covers `fn read_u32(buf: &[u8]) -> u32`, the
+        // body range the `{ helper() }` braces.
+        let (ss, se) = read.sig;
+        assert!(lexed.tokens[ss].is_ident("fn"));
+        assert!(lexed.tokens[se].is_punct('{'));
+        let sig: Vec<_> = lexed.tokens[ss..se].iter().filter_map(Token::ident).collect();
+        assert!(sig.contains(&"buf") && sig.contains(&"u8"), "{sig:?}");
+        let (bs, be) = read.body.expect("read_u32 has a body");
+        assert!(lexed.tokens[bs].is_punct('{') && lexed.tokens[be - 1].is_punct('}'));
+        assert!(lexed.tokens[bs..be].iter().any(|t| t.is_ident("helper")));
+        assert!(items.fns[2].body.is_none(), "trait declarations have no body range");
     }
 
     #[test]

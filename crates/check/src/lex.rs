@@ -84,6 +84,13 @@ pub enum Directive {
     /// this line, the next line, or — when attached to a `fn` declaration —
     /// for the whole function).
     Allow(String),
+    /// `// era-check: source` — the next function is a trust-boundary
+    /// parsing seam: its byte-slice parameters and `read_exact`-filled
+    /// buffers are taint sources, and its return value is tainted.
+    Source,
+    /// `// era-check: sanitized(<what>): reason` — the value at this site
+    /// has been validated out-of-band; the taint pass treats it as clean.
+    Sanitized(String),
 }
 
 /// The result of lexing one file.
@@ -113,6 +120,15 @@ impl Lexed {
         };
         check(line) || (line > 1 && check(line - 1))
     }
+
+    /// Whether a `sanitized(<what>)` directive covers a site on `line` — same
+    /// placement contract as [`Self::allows_site`].
+    pub fn sanitizes_site(&self, line: usize, what: &str) -> bool {
+        let check = |l: usize| {
+            self.directives_on(l).iter().any(|d| matches!(d, Directive::Sanitized(w) if w == what))
+        };
+        check(line) || (line > 1 && check(line - 1))
+    }
 }
 
 /// Parses the text of one line comment into a directive, if it is one.
@@ -129,11 +145,22 @@ fn parse_directive(comment_body: &str) -> Option<Directive> {
         let end = arg.find(')')?;
         return Some(Directive::Allow(arg[..end].trim().to_string()));
     }
+    if let Some(arg) = rest.strip_prefix("sanitized(") {
+        let end = arg.find(')')?;
+        return Some(Directive::Sanitized(arg[..end].trim().to_string()));
+    }
     if rest.starts_with("hot") {
         return Some(Directive::Hot);
     }
     if rest.starts_with("entry") {
         return Some(Directive::Entry);
+    }
+    // `source` must be the whole word: prose like "sources of taint" inside
+    // an `// era-check:`-prefixed sentence must not arm the directive.
+    let source_word = rest == "source"
+        || rest.strip_prefix("source").is_some_and(|t| t.starts_with(char::is_whitespace));
+    if source_word {
+        return Some(Directive::Source);
     }
     None
 }
@@ -473,6 +500,25 @@ fn serve() {}
         assert!(lexed.allows_site(3, "unwrap"));
         assert!(lexed.allows_site(4, "unwrap"), "preceding-line allows cover the next line");
         assert!(!lexed.allows_site(2, "unwrap"));
+    }
+
+    #[test]
+    fn taint_directives_are_collected() {
+        let src = "\
+// era-check: source
+fn read_u32() {}
+// era-check: sanitized(taint): bounded by the table check above
+let x = table[slot];
+// era-check: sources of taint are described here, not declared
+fn prose() {}
+";
+        let lexed = lex(src);
+        assert_eq!(lexed.directives_on(1), &[Directive::Source]);
+        assert_eq!(lexed.directives_on(3), &[Directive::Sanitized("taint".into())]);
+        assert!(lexed.directives_on(5).is_empty(), "prose must not become a source directive");
+        assert!(lexed.sanitizes_site(3, "taint"));
+        assert!(lexed.sanitizes_site(4, "taint"), "preceding-line sanitized covers the next line");
+        assert!(!lexed.sanitizes_site(2, "taint"));
     }
 
     #[test]

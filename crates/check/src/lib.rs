@@ -1,7 +1,7 @@
 //! `era-check`: the workspace's static-analysis and artifact-verification
 //! subsystem.
 //!
-//! Three independent passes, each usable as a library and wired together by
+//! Four independent passes, each usable as a library and wired together by
 //! the `era-check` binary (and by the CI `static-analysis` job):
 //!
 //! - [`lint`] — a *semantic* pass over the workspace's own `.rs` files. A
@@ -17,6 +17,16 @@
 //!   workspace locks obey one static acquisition order, and the unsafe-code
 //!   census stays at zero. Every rule is escapable only by a reasoned
 //!   `// era-check: allow(rule): why` directive.
+//! - [`taint`] — untrusted-input dataflow over the same lexer/extractor/call
+//!   graph. Values derived from hostile artifact bytes (`from_le_bytes`
+//!   results, `read_exact`-filled buffers and byte-slice parameters of
+//!   parser fns, returns of `// era-check: source` seams) are tracked,
+//!   interprocedurally via call-graph summaries, until they either pass a
+//!   sanitizer (`try_into`, `checked_*`, a clamp, an ordered bounds check)
+//!   or reach a sink: unchecked arithmetic, a truncating `as` cast, a
+//!   header-sized allocation, or a direct index. The static complement of
+//!   [`fsck`]: fsck proves the artifacts honest, taint proves the parsers
+//!   safe against the dishonest ones.
 //! - [`fsck`] — deep verification of on-disk index artifacts (`ERAFLAT1`
 //!   part files, `ERAPART1` manifests, `ERAP` packed text), reusing the
 //!   `era-suffix-tree` validators so a corrupted artifact is rejected with a
@@ -40,3 +50,4 @@ pub mod lex;
 pub mod lint;
 #[cfg(feature = "shim-sync")]
 pub mod real;
+pub mod taint;

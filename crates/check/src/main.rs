@@ -1,17 +1,19 @@
 //! The `era-check` command-line tool.
 //!
 //! ```text
-//! era-check lint [--format=github] [workspace-root]   # semantic source lints
-//! era-check fsck [--deep] <index-dir>                 # verify on-disk index artifacts
-//! era-check interleave                                # real code under every interleaving
-//! era-check demo-index <dir>                          # build a small index (CI fsck prey)
-//! era-check all [workspace-root]                      # lint + interleave
+//! era-check lint [--format=github|json] [workspace-root]   # semantic source lints
+//! era-check taint [--format=github|json] [workspace-root]  # untrusted-input dataflow
+//! era-check fsck [--deep] <index-dir>                      # verify on-disk index artifacts
+//! era-check interleave                                     # real code under every interleaving
+//! era-check demo-index <dir>                               # build a small index (CI fsck prey)
+//! era-check all [workspace-root]                           # lint + taint + interleave
 //! ```
 //!
 //! Every subcommand prints its findings and exits non-zero when anything is
-//! wrong, so each maps directly onto a CI step. `lint --format=github` emits
-//! one `::error file=...,line=...` workflow annotation per finding so
-//! violations surface inline on pull requests.
+//! wrong, so each maps directly onto a CI step. `--format=github` emits one
+//! `::error file=...,line=...` workflow annotation per finding so violations
+//! surface inline on pull requests; `--format=json` emits one stable JSON
+//! object so tooling stops re-parsing human output.
 //!
 //! `interleave` explores the workspace's real concurrent code and therefore
 //! needs a binary built with the `shim-sync` feature
@@ -26,35 +28,43 @@ use std::process::ExitCode;
 
 use era_check::fsck::{fsck_dir, FsckOptions};
 use era_check::lint::{find_workspace_root, lint_workspace};
+use era_check::taint::taint_workspace;
 
-/// How `lint` renders its findings.
+/// How `lint`/`taint` render their findings.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum LintFormat {
     /// `file:line: [rule] excerpt` lines for humans.
     Plain,
     /// `::error` workflow-command annotations for GitHub Actions.
     Github,
+    /// One machine-readable JSON object on stdout.
+    Json,
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut args = args.iter().map(String::as_str);
     match args.next() {
-        Some("lint") => {
+        Some(cmd @ ("lint" | "taint")) => {
             let mut format = LintFormat::Plain;
             let mut root = None;
             for arg in args {
                 match arg {
                     "--format=plain" => format = LintFormat::Plain,
                     "--format=github" => format = LintFormat::Github,
+                    "--format=json" => format = LintFormat::Json,
                     other if other.starts_with("--format=") => {
-                        return usage(&format!("unknown lint format {other:?}"));
+                        return usage(&format!("unknown {cmd} format {other:?}"));
                     }
                     other if root.is_none() => root = Some(PathBuf::from(other)),
                     other => return usage(&format!("unexpected argument {other:?}")),
                 }
             }
-            run_lint(root, format)
+            if cmd == "lint" {
+                run_lint(root, format)
+            } else {
+                run_taint(root, format)
+            }
         }
         Some("fsck") => {
             let mut deep = false;
@@ -78,9 +88,11 @@ fn main() -> ExitCode {
         },
         Some("all") => {
             let root = args.next().map(PathBuf::from);
-            let lint = run_lint(root, LintFormat::Plain);
+            let lint = run_lint(root.clone(), LintFormat::Plain);
+            let taint = run_taint(root, LintFormat::Plain);
             let inter = run_interleave();
-            if lint == ExitCode::SUCCESS && inter == ExitCode::SUCCESS {
+            if lint == ExitCode::SUCCESS && taint == ExitCode::SUCCESS && inter == ExitCode::SUCCESS
+            {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
@@ -94,7 +106,8 @@ fn main() -> ExitCode {
 fn usage(problem: &str) -> ExitCode {
     eprintln!("era-check: {problem}");
     eprintln!(
-        "usage: era-check lint [--format=github] [root] | fsck [--deep] <dir> | interleave | \
+        "usage: era-check lint [--format=github|json] [root] | \
+         taint [--format=github|json] [root] | fsck [--deep] <dir> | interleave | \
          demo-index <dir> | all [root]"
     );
     ExitCode::FAILURE
@@ -106,19 +119,83 @@ fn github_escape(s: &str) -> String {
     s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
 }
 
-fn run_lint(root: Option<PathBuf>, format: LintFormat) -> ExitCode {
-    let root = match root {
-        Some(r) => r,
+/// Escapes a value for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one finding in the shared finding shape (both passes' findings
+/// carry rule/file/line/excerpt/message).
+fn emit_finding(
+    format: LintFormat,
+    rule: &str,
+    file: &Path,
+    line: usize,
+    excerpt: &str,
+    message: &str,
+    json_out: &mut Vec<String>,
+) {
+    match format {
+        LintFormat::Plain => {} // the Display impls already printed
+        LintFormat::Github => {
+            let mut msg = excerpt.to_string();
+            if !message.is_empty() {
+                msg.push('\n');
+                msg.push_str(message);
+            }
+            println!(
+                "::error file={},line={},title=era-check({})::{}",
+                github_escape(&file.display().to_string()),
+                line,
+                rule,
+                github_escape(&msg)
+            );
+        }
+        LintFormat::Json => {
+            json_out.push(format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"excerpt\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(rule),
+                json_escape(&file.display().to_string()),
+                line,
+                json_escape(excerpt),
+                json_escape(message)
+            ));
+        }
+    }
+}
+
+fn resolve_root(root: Option<PathBuf>, pass: &str) -> Result<PathBuf, ExitCode> {
+    match root {
+        Some(r) => Ok(r),
         None => {
             let cwd = std::env::current_dir().expect("cannot determine the working directory");
             match find_workspace_root(&cwd) {
-                Some(r) => r,
+                Some(r) => Ok(r),
                 None => {
-                    eprintln!("era-check lint: no workspace Cargo.toml above {}", cwd.display());
-                    return ExitCode::FAILURE;
+                    eprintln!("era-check {pass}: no workspace Cargo.toml above {}", cwd.display());
+                    Err(ExitCode::FAILURE)
                 }
             }
         }
+    }
+}
+
+fn run_lint(root: Option<PathBuf>, format: LintFormat) -> ExitCode {
+    let root = match resolve_root(root, "lint") {
+        Ok(r) => r,
+        Err(code) => return code,
     };
     let report = match lint_workspace(&root) {
         Ok(r) => r,
@@ -127,26 +204,91 @@ fn run_lint(root: Option<PathBuf>, format: LintFormat) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let mut json = Vec::new();
     for finding in &report.findings {
-        match format {
-            LintFormat::Plain => println!("{finding}"),
-            LintFormat::Github => {
-                let mut message = finding.excerpt.clone();
-                if !finding.message.is_empty() {
-                    message.push('\n');
-                    message.push_str(&finding.message);
-                }
-                println!(
-                    "::error file={},line={},title=era-check({})::{}",
-                    github_escape(&finding.file.display().to_string()),
-                    finding.line,
-                    finding.rule,
-                    github_escape(&message)
-                );
-            }
+        if format == LintFormat::Plain {
+            println!("{finding}");
         }
+        emit_finding(
+            format,
+            finding.rule.name(),
+            &finding.file,
+            finding.line,
+            &finding.excerpt,
+            &finding.message,
+            &mut json,
+        );
     }
-    println!("era-check lint: {} files, {} violation(s)", report.files, report.findings.len());
+    match format {
+        LintFormat::Json => println!(
+            "{{\"pass\":\"lint\",\"files\":{},\"violations\":{},\"findings\":[{}]}}",
+            report.files,
+            report.findings.len(),
+            json.join(",")
+        ),
+        _ => println!(
+            "era-check lint: {} files, {} violation(s)",
+            report.files,
+            report.findings.len()
+        ),
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_taint(root: Option<PathBuf>, format: LintFormat) -> ExitCode {
+    let root = match resolve_root(root, "taint") {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let report = match taint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("era-check taint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut json = Vec::new();
+    for finding in &report.findings {
+        if format == LintFormat::Plain {
+            println!("{finding}");
+        }
+        emit_finding(
+            format,
+            finding.rule.name(),
+            &finding.file,
+            finding.line,
+            &finding.excerpt,
+            &finding.message,
+            &mut json,
+        );
+    }
+    match format {
+        LintFormat::Json => println!(
+            "{{\"pass\":\"taint\",\"files\":{},\"fns\":{},\"call_edges\":{},\"tainted_flows\":{},\
+             \"allows\":{},\"violations\":{},\"findings\":[{}]}}",
+            report.files,
+            report.fns,
+            report.call_edges,
+            report.tainted_flows,
+            report.allows,
+            report.findings.len(),
+            json.join(",")
+        ),
+        _ => println!(
+            "era-check taint: {} files, {} fns, {} call edges, {} tainted flow(s), \
+             {} allow(s), {} violation(s)",
+            report.files,
+            report.fns,
+            report.call_edges,
+            report.tainted_flows,
+            report.allows,
+            report.findings.len()
+        ),
+    }
     if report.passed() {
         ExitCode::SUCCESS
     } else {

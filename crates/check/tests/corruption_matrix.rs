@@ -187,3 +187,63 @@ fn raw_text_length_and_terminator_mutations_are_rejected() {
     assert_clean(&dir);
     fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Hostile-header fixtures: not random corruption but *adversarial* values —
+/// maxed-out counts and lengths that would truncate under a 32-bit `as`
+/// cast or request multi-GB reservations if the parsers trusted them. These
+/// are the dynamic twins of the `era-check taint` sinks: every case must
+/// come back as a diagnostic `Err`, never a panic, never a huge allocation.
+#[test]
+fn hostile_header_lengths_are_rejected_without_panics() {
+    use era_string_store::PackedDiskStore;
+    use era_suffix_tree::{FlatTree, PartitionedSuffixTree};
+
+    let dir = temp_dir("hostile-headers");
+
+    // ERAFLAT1 claiming u32::MAX nodes, with no records behind the claim:
+    // the clamped preallocation stays small and the record loop hits EOF.
+    let part = dir.join("part-00000.st");
+    let mut bytes = b"ERAFLAT1".to_vec();
+    bytes.extend(27u32.to_le_bytes()); // text_len
+    bytes.extend(u32::MAX.to_le_bytes()); // node_count
+    fs::write(&part, &bytes).unwrap();
+    let err = FlatTree::load(&part).expect_err("u32::MAX node count must be rejected");
+    assert!(!err.to_string().is_empty());
+
+    // Manifest claiming a u32::MAX-byte partition prefix: rejected by the
+    // explicit bound, with the hostile value named in the diagnostic.
+    let manifest = dir.join("manifest.era");
+    let mut bytes = b"ERAPART1".to_vec();
+    bytes.extend(27u32.to_le_bytes()); // text_len
+    bytes.extend(1u32.to_le_bytes()); // partition count
+    bytes.extend(u32::MAX.to_le_bytes()); // prefix length
+    fs::write(&manifest, &bytes).unwrap();
+    let err = PartitionedSuffixTree::load_from_dir(&dir)
+        .expect_err("u32::MAX prefix length must be rejected");
+    assert!(err.to_string().contains("prefix"), "unexpected diagnostic: {err}");
+
+    // Manifest claiming u32::MAX partitions: the clamped preallocation stays
+    // small and the first missing partition record errors out.
+    let mut bytes = b"ERAPART1".to_vec();
+    bytes.extend(27u32.to_le_bytes());
+    bytes.extend(u32::MAX.to_le_bytes());
+    fs::write(&manifest, &bytes).unwrap();
+    let err = PartitionedSuffixTree::load_from_dir(&dir)
+        .expect_err("u32::MAX partition count must be rejected");
+    assert!(!err.to_string().is_empty());
+    fs::remove_dir_all(&dir).unwrap();
+
+    // ERAP claiming a u64::MAX text length: on 32-bit targets the usize
+    // conversion rejects it; on 64-bit the exact file-length equation does.
+    // Either way it is a diagnostic, not a truncated cast.
+    let dir = temp_dir("hostile-erap");
+    build_index(&dir, true);
+    let erap = dir.join("text.erap");
+    let mut bytes = fs::read(&erap).unwrap();
+    bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+    fs::write(&erap, &bytes).unwrap();
+    let err =
+        PackedDiskStore::open(&erap, 4096).expect_err("u64::MAX packed length must be rejected");
+    assert!(!err.to_string().is_empty());
+    fs::remove_dir_all(&dir).unwrap();
+}

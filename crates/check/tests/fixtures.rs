@@ -1,20 +1,27 @@
-//! Two-sided fixture suite for every lint rule.
+//! Two-sided fixture suite for every lint rule and every taint sink class.
 //!
 //! For each rule in [`Rule::ALL`] the corpus under `tests/fixtures/` must
 //! hold a `deny_<rule>.rs` file that the rule catches and an
 //! `allow_<rule>.rs` twin — the same violation escaped by a reasoned
-//! `// era-check: allow(<rule>): why` directive — that passes clean. A rule
-//! added without its fixture pair fails this suite, and so does a fixture
-//! the rule no longer catches: the rules stay two-sided by construction.
+//! `// era-check: allow(<rule>): why` directive — that passes clean. The
+//! taint pass follows the same convention for [`TaintRule::ALL`], with one
+//! twist: its twins pass because the value is *actually sanitized*
+//! (`checked_*`, `try_from`, a clamp, a bounds check), not merely excused —
+//! except where a `sanitized(taint)` directive is itself the thing under
+//! test. A rule added without its fixture pair fails this suite, and so does
+//! a fixture the rule no longer catches: the rules stay two-sided by
+//! construction.
 //!
-//! Fixtures are fed through [`lint_source`] under a virtual path inside a
-//! library crate, so library-only rules (unwrap) and call-graph resolution
-//! apply; the workspace sweep itself excludes the fixture directory.
+//! Fixtures are fed through [`lint_source`] / [`taint_source`] under a
+//! virtual path inside a library crate, so library-only rules (unwrap) and
+//! call-graph resolution apply; the workspace sweep itself excludes the
+//! fixture directory.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 use era_check::lint::{lint_source, Finding, Rule};
+use era_check::taint::{taint_source, TaintFinding, TaintRule};
 
 /// Where the corpus lives on disk.
 fn fixture_dir() -> PathBuf {
@@ -26,13 +33,26 @@ fn slug(rule: Rule) -> String {
     rule.name().replace('-', "_")
 }
 
+/// Same mapping for taint sink classes (`taint-cast` → `taint_cast`).
+fn taint_slug(rule: TaintRule) -> String {
+    rule.name().replace('-', "_")
+}
+
+fn read_fixture(name: &str) -> String {
+    let path = fixture_dir().join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} is required but unreadable: {e}", path.display()))
+}
+
 /// Lints one fixture under a virtual library-crate path, so the policy and
 /// call-graph resolution match production library code.
 fn lint_fixture(name: &str) -> Vec<Finding> {
-    let path = fixture_dir().join(name);
-    let source = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("fixture {} is required but unreadable: {e}", path.display()));
-    lint_source(Path::new("crates/core/src/lint_fixture.rs"), &source)
+    lint_source(Path::new("crates/core/src/lint_fixture.rs"), &read_fixture(name))
+}
+
+/// Taint-checks one fixture under the same virtual library-crate path.
+fn taint_fixture(name: &str) -> Vec<TaintFinding> {
+    taint_source(Path::new("crates/core/src/taint_fixture.rs"), &read_fixture(name))
 }
 
 #[test]
@@ -75,6 +95,43 @@ fn deny_fixtures_fire_only_their_own_rule() {
 }
 
 #[test]
+fn every_taint_rule_catches_its_deny_fixture() {
+    for &rule in TaintRule::ALL {
+        let findings = taint_fixture(&format!("deny_{}.rs", taint_slug(rule)));
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "taint rule {} missed its deny fixture entirely; found: {findings:?}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn every_taint_sanitized_twin_passes_clean() {
+    for &rule in TaintRule::ALL {
+        let findings = taint_fixture(&format!("allow_{}.rs", taint_slug(rule)));
+        assert!(
+            findings.is_empty(),
+            "sanitized twin of {} should pass clean but was flagged: {findings:?}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn taint_deny_fixtures_fire_only_their_own_rule() {
+    for &rule in TaintRule::ALL {
+        let findings = taint_fixture(&format!("deny_{}.rs", taint_slug(rule)));
+        let stray: Vec<&TaintFinding> = findings.iter().filter(|f| f.rule != rule).collect();
+        assert!(
+            stray.is_empty(),
+            "deny fixture of {} also fired other taint rules: {stray:?}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
 fn corpus_has_no_orphan_fixtures() {
     // Every file in the corpus must belong to a known rule — an orphan is
     // either a typo'd name (so some rule is silently untested) or leftovers
@@ -82,11 +139,14 @@ fn corpus_has_no_orphan_fixtures() {
     let expected: BTreeSet<String> = Rule::ALL
         .iter()
         .flat_map(|&r| [format!("deny_{}.rs", slug(r)), format!("allow_{}.rs", slug(r))])
+        .chain(TaintRule::ALL.iter().flat_map(|&r| {
+            [format!("deny_{}.rs", taint_slug(r)), format!("allow_{}.rs", taint_slug(r))]
+        }))
         .collect();
     let mut on_disk = BTreeSet::new();
     for entry in std::fs::read_dir(fixture_dir()).expect("fixture dir must exist") {
         let name = entry.expect("readable dir entry").file_name();
         on_disk.insert(name.to_string_lossy().into_owned());
     }
-    assert_eq!(on_disk, expected, "fixture corpus out of sync with Rule::ALL");
+    assert_eq!(on_disk, expected, "fixture corpus out of sync with Rule::ALL + TaintRule::ALL");
 }

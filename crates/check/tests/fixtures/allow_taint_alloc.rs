@@ -1,0 +1,7 @@
+// Twin: the same preallocation clamped against a declared budget — the
+// vector still grows organically as real bytes arrive.
+
+pub fn parse_table(buf: &[u8]) -> Vec<u64> {
+    let count = u32::from_le_bytes(buf[0..4].try_into().unwrap_or([0; 4])) as usize;
+    Vec::with_capacity(count.min(1024))
+}

@@ -1,0 +1,13 @@
+// Twin: the same offset computation, overflow-proofed with checked_* —
+// and a second field cleared by a reasoned sanitized(taint) directive.
+
+pub fn parse_span(buf: &[u8]) -> u64 {
+    let len = u64::from_le_bytes(buf[0..8].try_into().unwrap_or([0; 8]));
+    len.checked_mul(8).and_then(|b| b.checked_add(16)).unwrap_or(u64::MAX)
+}
+
+pub fn parse_flags(buf: &[u8]) -> u64 {
+    let flags = u64::from_le_bytes(buf[8..16].try_into().unwrap_or([0; 8]));
+    // era-check: sanitized(taint): caller range-checks this field beforehand
+    flags + 1
+}

@@ -1,0 +1,7 @@
+// Twin: the same conversion through try_from, so an oversized length is
+// rejected instead of truncated.
+
+pub fn parse_len(buf: &[u8]) -> usize {
+    let raw = u64::from_le_bytes(buf[0..8].try_into().unwrap_or([0; 8]));
+    usize::try_from(raw).unwrap_or(0)
+}

@@ -1,0 +1,10 @@
+// Twin: the same lookup behind an ordered bounds check, so a hostile slot
+// is rejected before it reaches the index.
+
+pub fn parse_entry(buf: &[u8], table: &[u32]) -> u32 {
+    let slot = u16::from_le_bytes(buf[0..2].try_into().unwrap_or([0; 2])) as usize;
+    if slot >= table.len() {
+        return 0;
+    }
+    table[slot]
+}

@@ -1,0 +1,7 @@
+// Fixture: an allocation sized directly by a header-declared count — an
+// 8-byte hostile header requests a multi-GB reservation up front.
+
+pub fn parse_table(buf: &[u8]) -> Vec<u64> {
+    let count = u32::from_le_bytes(buf[0..4].try_into().unwrap_or([0; 4])) as usize;
+    Vec::with_capacity(count)
+}

@@ -1,0 +1,7 @@
+// Fixture: unchecked arithmetic on a header-derived length — a hostile
+// 8-byte field overflows the offset computation silently in release.
+
+pub fn parse_span(buf: &[u8]) -> u64 {
+    let len = u64::from_le_bytes(buf[0..8].try_into().unwrap_or([0; 8]));
+    len * 8 + 16
+}

@@ -1,0 +1,6 @@
+// Fixture: a 64-bit header length truncated to usize with `as` — on a
+// 32-bit target a hostile value silently aliases a small, plausible one.
+
+pub fn parse_len(buf: &[u8]) -> usize {
+    u64::from_le_bytes(buf[0..8].try_into().unwrap_or([0; 8])) as usize
+}

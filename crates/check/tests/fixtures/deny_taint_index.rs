@@ -1,0 +1,7 @@
+// Fixture: direct indexing by a header-derived slot — a hostile value
+// panics the serving path (or worse, with a widened table, reads garbage).
+
+pub fn parse_entry(buf: &[u8], table: &[u32]) -> u32 {
+    let slot = u16::from_le_bytes(buf[0..2].try_into().unwrap_or([0; 2])) as usize;
+    table[slot]
+}

@@ -298,7 +298,12 @@ fn parse_header(file: &mut File, file_len: u64) -> StoreResult<ParsedHeader> {
     let bits = fixed[6] as u32;
     let alen = fixed[7] as usize;
     // era-check: allow(unwrap): slice length is exactly 8
-    let len = u64::from_le_bytes(fixed[8..16].try_into().expect("8 bytes")) as usize;
+    let len_raw = u64::from_le_bytes(fixed[8..16].try_into().expect("8 bytes"));
+    // On a 32-bit target a hostile 64-bit length would truncate under `as`
+    // and alias a small, plausible value; reject it instead.
+    let len = usize::try_from(len_raw).map_err(|_| {
+        StoreError::InvalidText(format!("packed length {len_raw} overflows this platform's usize"))
+    })?;
     if len == 0 {
         return Err(StoreError::InvalidText("packed file holds an empty string".into()));
     }

@@ -34,6 +34,7 @@ fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
+// era-check: source
 fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
@@ -44,11 +45,24 @@ fn write_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
     w.write_all(&[v])
 }
 
+// era-check: source
 fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
     let mut b = [0u8; 1];
     r.read_exact(&mut b)?;
     Ok(b[0])
 }
+
+/// Ceiling on speculative preallocation from header-declared counts. A
+/// hostile 8-byte header may *claim* any element count, but it only gets the
+/// memory as the corresponding bytes actually arrive — `Vec::push` grows
+/// past this cap organically, and a short file errors out in `read_exact`
+/// long before.
+const MAX_PREALLOC: usize = 1 << 20;
+
+/// Ceiling on a manifest partition-prefix length. Partition prefixes are a
+/// handful of symbols by construction; a manifest claiming more is hostile
+/// or corrupt and is rejected rather than allocated.
+const MAX_PREFIX_LEN: usize = 1 << 10;
 
 /// Writes a construction-form tree to any writer (`ERASTRE1`).
 pub fn write_tree<W: Write>(w: &mut W, tree: &SuffixTree) -> io::Result<()> {
@@ -92,7 +106,8 @@ pub fn read_tree<R: Read>(r: &mut R) -> io::Result<SuffixTree> {
 fn read_tree_body<R: Read>(r: &mut R) -> io::Result<SuffixTree> {
     let text_len = read_u32(r)? as usize;
     let node_count = read_u32(r)? as usize;
-    let mut tree = SuffixTree::with_capacity(text_len, node_count);
+    let mut tree =
+        SuffixTree::with_capacity(text_len.min(MAX_PREALLOC), node_count.min(MAX_PREALLOC));
     for id in 0..node_count as NodeId {
         let start = read_u32(r)?;
         let end = read_u32(r)?;
@@ -103,7 +118,7 @@ fn read_tree_body<R: Read>(r: &mut R) -> io::Result<SuffixTree> {
             NodeData::Leaf { suffix: read_u32(r)? }
         } else {
             let len = read_u32(r)? as usize;
-            let mut children = Vec::with_capacity(len);
+            let mut children = Vec::with_capacity(len.min(MAX_PREALLOC));
             for _ in 0..len {
                 children.push(read_u32(r)?);
             }
@@ -155,7 +170,7 @@ fn read_flat_tree_body<R: Read>(r: &mut R) -> io::Result<FlatTree> {
     if node_count == 0 {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "flat tree without a root"));
     }
-    let mut nodes = Vec::with_capacity(node_count);
+    let mut nodes = Vec::with_capacity(node_count.min(MAX_PREALLOC));
     for _ in 0..node_count {
         let start = read_u32(r)?;
         let end = read_u32(r)?;
@@ -287,9 +302,17 @@ impl PartitionedSuffixTree {
         }
         let text_len = read_u32(&mut manifest)? as usize;
         let count = read_u32(&mut manifest)? as usize;
-        let mut partitions = Vec::with_capacity(count);
+        let mut partitions = Vec::with_capacity(count.min(MAX_PREALLOC));
         for i in 0..count {
             let plen = read_u32(&mut manifest)? as usize;
+            if plen > MAX_PREFIX_LEN {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "manifest claims a {plen}-byte partition prefix (max {MAX_PREFIX_LEN})"
+                    ),
+                ));
+            }
             let mut prefix = vec![0u8; plen];
             manifest.read_exact(&mut prefix)?;
             let tree = FlatTree::load(dir.join(format!("part-{i:05}.st")))?;
