@@ -1,6 +1,17 @@
 //! Deep verification of on-disk index artifacts (`era-check fsck`).
 //!
-//! An index directory written by `SuffixIndex::save_to_dir` holds a
+//! Two on-disk layouts are verified:
+//!
+//! **The single-file catalog** (`index.eracat`, `ERACAT1`) written by
+//! `SuffixIndex::save_to_dir`/`save_to_file`: the parser itself re-derives
+//! the whole format — header magic/version, footer-located checksummed TOC,
+//! per-segment checksums, strict segment contiguity (no unaccounted byte
+//! anywhere in the file) — so fsck runs it and reports its findings as
+//! diagnostics; any legacy scattered artifact next to a catalog is flagged
+//! as stale. With [`FsckOptions::deep`] the catalog's text is materialized
+//! and its tree validated against it exactly like the scattered layout.
+//!
+//! **The scattered layout** (`SuffixIndex::save_to_dir_scattered`) holds a
 //! `manifest.era` (`ERAPART1`), one `part-NNNNN.st` flat tree (`ERAFLAT1`,
 //! or legacy `ERASTRE1`) per partition, and the text in one of its two
 //! encodings (`text.era` raw + `text.alphabet` sidecar, or `text.erap`
@@ -32,7 +43,8 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use era_string_store::{Alphabet, PackedDiskStore, StringStore, TERMINAL};
+use era_string_store::{Alphabet, PackedCodec, PackedDiskStore, StringStore, TERMINAL};
+use era_suffix_tree::catalog::{Catalog, CatalogText};
 use era_suffix_tree::{validate_partitioned, FlatTree, PartitionedSuffixTree};
 
 /// Options for one fsck run.
@@ -82,6 +94,7 @@ impl FsckReport {
     }
 }
 
+const CATALOG: &str = "index.eracat";
 const MANIFEST: &str = "manifest.era";
 const TEXT_FILE: &str = "text.era";
 const PACKED_TEXT_FILE: &str = "text.erap";
@@ -298,7 +311,44 @@ fn check_text(
     None
 }
 
+/// Verifies an `ERACAT1` catalog file: full parse (header, checksummed TOC,
+/// segment contiguity, per-segment checksums, structural tree validation)
+/// and, in deep mode, the text-backed validation of every group.
+fn check_catalog(path: &Path, deep: bool, report: &mut FsckReport) {
+    report.artifacts += 1;
+    let catalog = match Catalog::open(path) {
+        Ok(c) => c,
+        Err(e) => {
+            report.fail(path, e.to_string());
+            return;
+        }
+    };
+    for group in &catalog.groups {
+        report.nodes_checked += group.tree.node_count();
+    }
+    if !deep {
+        return;
+    }
+    let text = match &catalog.text {
+        CatalogText::Raw(t) => t.clone(),
+        CatalogText::Packed(payload) => {
+            let mut body = vec![0u8; catalog.text_len - 1];
+            PackedCodec::new(&catalog.alphabet).unpack(payload, 0, catalog.text_len - 1, &mut body);
+            body.push(TERMINAL);
+            body
+        }
+    };
+    let tree = catalog.into_tree();
+    if let Err(e) = validate_partitioned(&tree, &text) {
+        report.fail(path, format!("deep validation failed: {e}"));
+    }
+}
+
 /// Verifies the index directory `dir`.
+///
+/// A directory holding an `index.eracat` catalog is verified through the
+/// catalog path (with any leftover scattered artifact flagged as stale);
+/// otherwise the scattered layout is verified artifact by artifact.
 ///
 /// Always runs the byte-level and structural checks; with
 /// [`FsckOptions::deep`] additionally validates every tree against the
@@ -307,6 +357,31 @@ fn check_text(
 /// corrupt input.
 pub fn fsck_dir(dir: &Path, options: FsckOptions) -> FsckReport {
     let mut report = FsckReport { deep: options.deep, ..FsckReport::default() };
+    let catalog_path = dir.join(CATALOG);
+    if catalog_path.exists() {
+        check_catalog(&catalog_path, options.deep, &mut report);
+        // A committed catalog supersedes every scattered artifact; any left
+        // behind means the retire sequence did not complete — they are
+        // ignored by the loader (the catalog wins) but the directory does
+        // not round-trip, so flag them.
+        if let Ok(entries) = fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let scattered = name == MANIFEST
+                    || name == TEXT_FILE
+                    || name == PACKED_TEXT_FILE
+                    || name == ALPHABET_FILE
+                    || (name.starts_with("part-") && name.ends_with(".st"));
+                if scattered {
+                    report.fail(
+                        &entry.path(),
+                        "stale scattered artifact: superseded by the index.eracat catalog",
+                    );
+                }
+            }
+        }
+        return report;
+    }
     let manifest_path = dir.join(MANIFEST);
     let Some(manifest) = check_manifest(&manifest_path, &mut report) else {
         return report;
@@ -381,6 +456,15 @@ mod tests {
             .packed(packed)
             .build_from_bytes(b"GATTACAGATTACAGGATCCGATTACA")
             .unwrap()
+            .save_to_dir_scattered(dir)
+            .unwrap();
+    }
+
+    fn save_catalog_index(dir: &Path, packed: bool) {
+        SuffixIndex::builder()
+            .packed(packed)
+            .build_from_bytes(b"GATTACAGATTACAGGATCCGATTACA")
+            .unwrap()
             .save_to_dir(dir)
             .unwrap();
     }
@@ -397,6 +481,52 @@ mod tests {
             assert!(deep.passed(), "{:?}", deep.errors);
             fs::remove_dir_all(&dir).unwrap();
         }
+    }
+
+    #[test]
+    fn clean_catalog_passes_shallow_and_deep() {
+        for packed in [false, true] {
+            let dir = temp_dir(if packed { "cat-clean-packed" } else { "cat-clean-raw" });
+            save_catalog_index(&dir, packed);
+            assert!(dir.join(CATALOG).exists());
+            let shallow = fsck_dir(&dir, FsckOptions::default());
+            assert!(shallow.passed(), "{:?}", shallow.errors);
+            assert!(shallow.nodes_checked > 0);
+            let deep = fsck_dir(&dir, FsckOptions { deep: true });
+            assert!(deep.passed(), "{:?}", deep.errors);
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupted_catalog_is_a_diagnostic() {
+        let dir = temp_dir("cat-corrupt");
+        save_catalog_index(&dir, false);
+        let path = dir.join(CATALOG);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        let report = fsck_dir(&dir, FsckOptions::default());
+        assert!(!report.passed(), "a flipped catalog byte must be detected");
+        assert!(report.errors[0].artifact.ends_with(CATALOG));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scattered_leftovers_next_to_a_catalog_are_flagged() {
+        let dir = temp_dir("cat-stale");
+        save_catalog_index(&dir, false);
+        fs::write(dir.join(MANIFEST), b"left behind").unwrap();
+        fs::write(dir.join("part-00000.st"), b"left behind").unwrap();
+        let report = fsck_dir(&dir, FsckOptions::default());
+        assert_eq!(
+            report.errors.iter().filter(|e| e.message.contains("stale scattered")).count(),
+            2,
+            "{:?}",
+            report.errors
+        );
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

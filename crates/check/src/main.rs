@@ -5,6 +5,7 @@
 //! era-check taint [--format=github|json] [workspace-root]  # untrusted-input dataflow
 //! era-check fsck [--deep] <index-dir>                      # verify on-disk index artifacts
 //! era-check interleave                                     # real code under every interleaving
+//! era-check crash-matrix [--limit=N]                       # every-fault-point catalog crash sweep
 //! era-check demo-index <dir>                               # build a small index (CI fsck prey)
 //! era-check all [workspace-root]                           # lint + taint + interleave
 //! ```
@@ -82,6 +83,16 @@ fn main() -> ExitCode {
             }
         }
         Some("interleave") => run_interleave(),
+        Some("crash-matrix") => {
+            let mut limit = None;
+            for arg in args {
+                match arg.strip_prefix("--limit=").map(str::parse::<usize>) {
+                    Some(Ok(n)) if n > 0 => limit = Some(n),
+                    _ => return usage(&format!("unexpected crash-matrix argument {arg:?}")),
+                }
+            }
+            run_crash_matrix(limit)
+        }
         Some("demo-index") => match args.next() {
             Some(dir) => run_demo_index(Path::new(dir)),
             None => usage("demo-index needs a target directory"),
@@ -108,7 +119,7 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!(
         "usage: era-check lint [--format=github|json] [root] | \
          taint [--format=github|json] [root] | fsck [--deep] <dir> | interleave | \
-         demo-index <dir> | all [root]"
+         crash-matrix [--limit=N] | demo-index <dir> | all [root]"
     );
     ExitCode::FAILURE
 }
@@ -352,6 +363,19 @@ fn run_interleave() -> ExitCode {
          explore. Rebuild with:\n    cargo run -p era-check --features shim-sync -- interleave"
     );
     ExitCode::FAILURE
+}
+
+fn run_crash_matrix(limit: Option<usize>) -> ExitCode {
+    let report = era_check::crash::run_crash_matrix(limit);
+    for error in &report.errors {
+        println!("{error}");
+    }
+    println!("{report}");
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn run_demo_index(dir: &Path) -> ExitCode {

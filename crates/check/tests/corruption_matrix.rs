@@ -16,7 +16,12 @@
 //!   the decoded text. (Symbol-*table* flips corrupt every occurrence of a
 //!   symbol at once, which the deep pass always sees.)
 //! * truncations at a spread of lengths and appended trailing garbage, for
-//!   each artifact.
+//!   each artifact;
+//! * `index.eracat` (`ERACAT1`) — every bit of every byte (header, text
+//!   segment, tree segments, TOC and footer: the per-segment checksums and
+//!   strict contiguity make the *whole file* load-bearing), truncation at
+//!   every possible length, and adversarial TOC values behind a recomputed
+//!   checksum.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -37,6 +42,15 @@ fn temp_dir(name: &str) -> PathBuf {
 }
 
 fn build_index(dir: &Path, packed: bool) {
+    SuffixIndex::builder()
+        .packed(packed)
+        .build_from_bytes(TEXT)
+        .unwrap()
+        .save_to_dir_scattered(dir)
+        .unwrap();
+}
+
+fn build_catalog_index(dir: &Path, packed: bool) {
     SuffixIndex::builder().packed(packed).build_from_bytes(TEXT).unwrap().save_to_dir(dir).unwrap();
 }
 
@@ -245,5 +259,101 @@ fn hostile_header_lengths_are_rejected_without_panics() {
     let err =
         PackedDiskStore::open(&erap, 4096).expect_err("u64::MAX packed length must be rejected");
     assert!(!err.to_string().is_empty());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+const CATALOG: &str = "index.eracat";
+
+#[test]
+fn every_bit_of_the_catalog_is_load_bearing() {
+    // Unlike the scattered layout (where raw-text content flips are only
+    // detectable through tree disagreement), the catalog checksums its text
+    // and tree segments and pins every region contiguously — so the matrix
+    // covers the *entire file*, both encodings.
+    for packed in [false, true] {
+        let dir = temp_dir(if packed { "cat-bits-packed" } else { "cat-bits-raw" });
+        build_catalog_index(&dir, packed);
+        assert_clean(&dir);
+        let len = fs::read(dir.join(CATALOG)).unwrap().len();
+        flip_matrix(&dir, CATALOG, 0..len);
+        assert_clean(&dir);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn every_truncation_of_the_catalog_is_rejected() {
+    let dir = temp_dir("cat-lengths");
+    build_catalog_index(&dir, true);
+    assert_clean(&dir);
+    let path = dir.join(CATALOG);
+    let pristine = fs::read(&path).unwrap();
+    for cut in 0..pristine.len() {
+        fs::write(&path, &pristine[..cut]).unwrap();
+        let report = fsck_dir(&dir, FsckOptions { deep: true });
+        assert!(
+            !report.passed(),
+            "catalog truncated to {cut} of {} went undetected",
+            pristine.len()
+        );
+    }
+    for extra in [1usize, 7, 512] {
+        let mut bytes = pristine.clone();
+        bytes.extend(std::iter::repeat_n(0xAA, extra));
+        fs::write(&path, &bytes).unwrap();
+        let report = fsck_dir(&dir, FsckOptions { deep: true });
+        assert!(!report.passed(), "catalog with {extra} trailing bytes went undetected");
+    }
+    fs::write(&path, &pristine).unwrap();
+    assert_clean(&dir);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// FNV-1a 64, re-implemented locally so adversarial TOC values can be hidden
+/// behind a *valid* checksum — forcing the parser to reject the values
+/// themselves, not merely the broken checksum.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+#[test]
+fn hostile_catalog_toc_values_are_rejected_without_panics_or_allocation() {
+    let dir = temp_dir("cat-hostile");
+    build_catalog_index(&dir, false);
+    assert_clean(&dir);
+    let path = dir.join(CATALOG);
+    let pristine = fs::read(&path).unwrap();
+    let footer_at = pristine.len() - 32;
+    let toc_offset =
+        u64::from_le_bytes(pristine[footer_at..footer_at + 8].try_into().unwrap()) as usize;
+    let toc_len =
+        u64::from_le_bytes(pristine[footer_at + 8..footer_at + 16].try_into().unwrap()) as usize;
+
+    // TOC layout: generation u64, text_len u64, flags u8, alphabet_len u8,
+    // reserved u16, group_count u32, ... — plant maxed-out values at each
+    // wide field and recompute the TOC checksum so the parser must reject
+    // the *value*, not the hash.
+    let hostile: [(usize, Vec<u8>); 3] = [
+        (toc_offset + 8, u64::MAX.to_le_bytes().to_vec()), // text_len
+        (toc_offset + 20, u32::MAX.to_le_bytes().to_vec()), // group_count
+        (toc_offset + 17, vec![0xFF]),                     // alphabet_len > 255 symbols on file
+    ];
+    for (at, value) in hostile {
+        let mut bytes = pristine.clone();
+        bytes[at..at + value.len()].copy_from_slice(&value);
+        let checksum = fnv1a64(&bytes[toc_offset..toc_offset + toc_len]);
+        bytes[footer_at + 16..footer_at + 24].copy_from_slice(&checksum.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let report = fsck_dir(&dir, FsckOptions { deep: true });
+        assert!(!report.passed(), "hostile TOC value at {at} went undetected");
+        assert!(report.errors.iter().all(|e| !e.message.is_empty()));
+    }
+    fs::write(&path, &pristine).unwrap();
+    assert_clean(&dir);
     fs::remove_dir_all(&dir).unwrap();
 }

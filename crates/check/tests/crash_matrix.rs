@@ -1,0 +1,25 @@
+//! The exhaustive crash matrix: every fault point of every workload's
+//! catalog save, under both crash modes, must reopen as exactly the old or
+//! the new generation — and the seeded broken commit protocol must be
+//! caught. This is the acceptance gate of the crash-safe catalog: the unit
+//! suite runs a bounded sweep for speed, this test runs the whole matrix.
+
+use era_check::crash::run_crash_matrix;
+
+#[test]
+fn every_fault_point_of_every_workload_reopens_old_or_new() {
+    let report = run_crash_matrix(None);
+    assert!(report.passed(), "{report}\n{:#?}", report.errors);
+    assert_eq!(report.workloads, 6, "raw/packed x DNA/protein/English");
+    assert!(
+        report.fault_points >= report.workloads * 2 * 2,
+        "the sweep must enumerate real fault points, got {}",
+        report.fault_points
+    );
+    // Both outcomes must occur: pre-publish crashes keep the old catalog,
+    // the completed-save points land the new one. A sweep that only ever
+    // sees one side would not be exercising the commit window.
+    assert!(report.reopened_old > 0);
+    assert!(report.reopened_new > 0);
+    assert_eq!(report.reopened_old + report.reopened_new, report.fault_points);
+}

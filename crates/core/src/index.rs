@@ -13,10 +13,13 @@ use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
 use era_string_store::{
-    Alphabet, BlockCache, DiskStore, InMemoryStore, PackedDiskStore, PackedMemoryStore,
-    StringStore, TERMINAL,
+    encode_packed_file, Alphabet, BlockCache, DiskStore, InMemoryStore, PackedCodec,
+    PackedDiskStore, PackedMemoryStore, StdVfs, StringStore, Vfs, TERMINAL,
 };
-use era_suffix_tree::PartitionedSuffixTree;
+use era_suffix_tree::catalog::{
+    save_catalog, write_file_durable, Catalog, CatalogText, TextSegment,
+};
+use era_suffix_tree::{CommitProtocol, FlatPartition, PartitionedSuffixTree};
 
 use crate::config::{EraConfig, HorizontalMethod, RangePolicy, SchedulerKind};
 use crate::error::{EraError, EraResult};
@@ -32,6 +35,12 @@ const PACKED_TEXT_FILE: &str = "text.erap";
 /// Sidecar recording the alphabet symbols of a raw persisted text, so
 /// store-backed opens don't have to scan the text to recover it.
 const ALPHABET_FILE: &str = "text.alphabet";
+/// File name of the single-file `ERACAT1` catalog inside an index directory —
+/// what [`SuffixIndex::save_to_dir`] writes and [`SuffixIndex::load_from_dir`]
+/// prefers over the scattered legacy artifacts.
+pub const CATALOG_FILE: &str = "index.eracat";
+/// File name of the scattered layout's manifest.
+const MANIFEST_FILE: &str = "manifest.era";
 
 /// How a [`SuffixIndex`] resolves the text its tree's edge labels point into.
 #[derive(Clone)]
@@ -82,6 +91,9 @@ pub struct SuffixIndex {
     /// and shared by every engine — and so every batch and worker — of this
     /// index; clones of the index share the same cache.
     block_cache: Option<Arc<BlockCache>>,
+    /// Generation number stamped into the catalog by [`Self::save_to_file`]
+    /// (fresh builds start at 0; [`Self::open_file`] restores the saved one).
+    generation: u64,
 }
 
 impl SuffixIndex {
@@ -260,45 +272,203 @@ impl SuffixIndex {
             .map_err(|e| EraError::corrupt(e.to_string()))
     }
 
-    /// Saves the index (tree + text) into a directory.
+    /// The generation number [`Self::save_to_file`] stamps into the catalog.
     ///
-    /// The text is persisted in the encoding the index was built with: raw
-    /// (`text.era`, plus a small alphabet sidecar) for raw builds, the §6.1
-    /// packed format (`text.erap`) for packed builds — earlier versions
-    /// silently wrote packed-built indexes raw. [`Self::load_from_dir`] and
-    /// [`Self::open_mmapless`] auto-detect which encoding is present.
-    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> EraResult<()> {
-        let dir = dir.as_ref();
-        self.tree.save_to_dir(dir)?;
+    /// Fresh builds start at 0; [`Self::open_file`]/[`Self::load_from_dir`]
+    /// restore the saved value, so a reopen-and-resave naturally carries the
+    /// generation forward (bump it with [`Self::with_generation`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Returns the index with its catalog generation set to `generation`.
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
+    }
+
+    /// Saves the index as a single-file `ERACAT1` catalog at `path`,
+    /// atomically: write temp → fsync segments → fsync TOC → rename →
+    /// directory fsync. A crash at any point leaves either the previous
+    /// catalog or the new one — never a third state (the crash-matrix
+    /// harness in `era-check` proves this over every fault point).
+    pub fn save_to_file(&self, path: impl AsRef<Path>) -> EraResult<()> {
+        self.save_to_file_with(path, &StdVfs, CommitProtocol::Sound)
+    }
+
+    /// [`Self::save_to_file`] through an explicit durability seam: the
+    /// fault-injection harness passes a
+    /// [`FaultVfs`](era_string_store::FaultVfs) and, for its self-test, the
+    /// seeded-bug [`CommitProtocol::TocBeforeSegmentSync`].
+    pub fn save_to_file_with(
+        &self,
+        path: impl AsRef<Path>,
+        vfs: &dyn Vfs,
+        protocol: CommitProtocol,
+    ) -> EraResult<()> {
+        let path = path.as_ref();
         let text = self.text();
         if self.packed {
-            let body = &text[..text.len() - 1];
-            let _keep = PackedDiskStore::create(
-                dir.join(PACKED_TEXT_FILE),
-                body,
-                self.alphabet.clone(),
-                64 << 10,
-            )?
-            .cleanup_on_drop(false);
-            // A stale raw text from a previous save must not shadow the
-            // packed one on load.
-            let _ = std::fs::remove_file(dir.join(TEXT_FILE));
-            let _ = std::fs::remove_file(dir.join(ALPHABET_FILE));
+            let payload = PackedCodec::new(&self.alphabet).pack_body(&text[..text.len() - 1])?;
+            save_catalog(
+                path,
+                vfs,
+                protocol,
+                self.generation,
+                TextSegment::Packed { payload: &payload, text_len: text.len() },
+                &self.alphabet,
+                &self.tree,
+            )?;
         } else {
-            std::fs::write(dir.join(TEXT_FILE), text)?;
-            std::fs::write(dir.join(ALPHABET_FILE), self.alphabet.symbols())?;
-            let _ = std::fs::remove_file(dir.join(PACKED_TEXT_FILE));
+            save_catalog(
+                path,
+                vfs,
+                protocol,
+                self.generation,
+                TextSegment::Raw(text),
+                &self.alphabet,
+                &self.tree,
+            )?;
         }
         Ok(())
     }
 
-    /// Loads an index previously written by [`Self::save_to_dir`],
-    /// auto-detecting the persisted text encoding.
+    /// Opens a single-file catalog written by [`Self::save_to_file`].
     ///
-    /// A raw text is read into memory (as before); a packed text is *opened*
-    /// as a [`PackedDiskStore`] and served from disk — queries decode only
-    /// the blocks they touch, and the full text is materialized lazily only
-    /// if [`Self::text`] is called.
+    /// The text segment is restored in its saved encoding: raw catalogs hold
+    /// the text in memory, packed catalogs serve from a
+    /// [`PackedMemoryStore`] (queries decode block-wise; [`Self::text`]
+    /// materializes lazily).
+    pub fn open_file(path: impl AsRef<Path>) -> EraResult<SuffixIndex> {
+        Self::open_file_with(path, &EraConfig::default())
+    }
+
+    /// [`Self::open_file`] under an explicit configuration (cache sizing via
+    /// [`EraConfig::cache_bytes`]; [`EraConfig::paranoid`] deep-verifies the
+    /// opened index before returning).
+    pub fn open_file_with(path: impl AsRef<Path>, config: &EraConfig) -> EraResult<SuffixIndex> {
+        let catalog = Catalog::open(path.as_ref()).map_err(catalog_error)?;
+        let Catalog { generation, text_len, alphabet, text, groups } = catalog;
+        let packed = matches!(text, CatalogText::Packed(_));
+        let backing = match text {
+            CatalogText::Raw(t) => TextBacking::Memory(Arc::new(t)),
+            CatalogText::Packed(payload) => {
+                let mut body = vec![0u8; text_len - 1];
+                PackedCodec::new(&alphabet).unpack(&payload, 0, text_len - 1, &mut body);
+                let store = PackedMemoryStore::from_body(&body, alphabet.clone())?;
+                TextBacking::Store { store: Arc::new(store), cache: OnceLock::new() }
+            }
+        };
+        let partitions =
+            groups.into_iter().map(|g| FlatPartition { prefix: g.prefix, tree: g.tree }).collect();
+        let tree = PartitionedSuffixTree::from_flat(text_len, partitions);
+        assemble(backing, tree, alphabet, packed, generation, config)
+    }
+
+    /// Saves the index (tree + text) into a directory — since the catalog
+    /// refactor, as the single-file `ERACAT1` catalog `index.eracat`, with
+    /// any scattered legacy artifacts (`manifest.era`, `part-*.st`, text
+    /// files) retired as part of the committed sequence.
+    ///
+    /// The text is persisted in the encoding the index was built with (raw
+    /// or the §6.1 packed format). [`Self::load_from_dir`] auto-detects both
+    /// the catalog and the scattered legacy layout; writers that need the
+    /// scattered layout (e.g. for [`Self::open_mmapless`]) use
+    /// [`Self::save_to_dir_scattered`].
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> EraResult<()> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        self.save_to_dir_with(dir, &StdVfs, CommitProtocol::Sound)
+    }
+
+    /// [`Self::save_to_dir`] through an explicit durability seam (the
+    /// directory must already exist).
+    pub fn save_to_dir_with(
+        &self,
+        dir: impl AsRef<Path>,
+        vfs: &dyn Vfs,
+        protocol: CommitProtocol,
+    ) -> EraResult<()> {
+        let dir = dir.as_ref();
+        self.save_to_file_with(dir.join(CATALOG_FILE), vfs, protocol)?;
+        // The committed catalog is the sole authority now; retire scattered
+        // artifacts from earlier layouts inside the same durable sequence so
+        // stale bytes cannot shadow it (fsck flags any that a crash strands).
+        for name in [MANIFEST_FILE, TEXT_FILE, PACKED_TEXT_FILE, ALPHABET_FILE] {
+            remove_if_present(vfs, &dir.join(name))?;
+        }
+        for i in 0.. {
+            if !remove_if_present(vfs, &dir.join(format!("part-{i:05}.st")))? {
+                break;
+            }
+        }
+        vfs.sync_dir(dir)?;
+        Ok(())
+    }
+
+    /// Saves the index in the *scattered* directory layout: `manifest.era`
+    /// plus one `part-*.st` per partition group and the text (raw `text.era`
+    /// + alphabet sidecar, or packed `text.erap`).
+    ///
+    /// This is the layout [`Self::open_mmapless`] serves from disk. Unlike
+    /// the catalog it cannot be replaced atomically across a text change,
+    /// but every artifact is individually committed (write temp → fsync →
+    /// rename, text before trees, manifest last, stale files removed, one
+    /// directory fsync at the end) and [`Self::load_from_dir`] refuses
+    /// mismatched text/tree combinations instead of serving wrong answers.
+    pub fn save_to_dir_scattered(&self, dir: impl AsRef<Path>) -> EraResult<()> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        self.save_to_dir_scattered_with(dir, &StdVfs)
+    }
+
+    /// [`Self::save_to_dir_scattered`] through an explicit durability seam
+    /// (the directory must already exist).
+    pub fn save_to_dir_scattered_with(
+        &self,
+        dir: impl AsRef<Path>,
+        vfs: &dyn Vfs,
+    ) -> EraResult<()> {
+        let dir = dir.as_ref();
+        let text = self.text();
+        // Text before trees: a crash between the two leaves an old tree over
+        // a new text, which the load-time length check refuses loudly —
+        // the reverse order could pair a new tree with an old text of the
+        // same length and serve silently wrong answers.
+        if self.packed {
+            let image = encode_packed_file(&text[..text.len() - 1], &self.alphabet)?;
+            write_file_durable(vfs, &dir.join(PACKED_TEXT_FILE), &image)?;
+        } else {
+            write_file_durable(vfs, &dir.join(TEXT_FILE), text)?;
+            write_file_durable(vfs, &dir.join(ALPHABET_FILE), self.alphabet.symbols())?;
+        }
+        self.tree.save_to_dir_with(dir, vfs)?;
+        // Stale artifacts — the other text encoding, partition files beyond
+        // the new count, a catalog this scattered save supersedes — are
+        // retired inside the committed sequence, before the one directory
+        // fsync that lands the whole batch.
+        let stale: &[&str] = if self.packed {
+            &[TEXT_FILE, ALPHABET_FILE, CATALOG_FILE]
+        } else {
+            &[PACKED_TEXT_FILE, CATALOG_FILE]
+        };
+        for name in stale {
+            remove_if_present(vfs, &dir.join(name))?;
+        }
+        for i in self.tree.partitions().len().. {
+            if !remove_if_present(vfs, &dir.join(format!("part-{i:05}.st")))? {
+                break;
+            }
+        }
+        vfs.sync_dir(dir)?;
+        Ok(())
+    }
+
+    /// Loads an index previously written by [`Self::save_to_dir`] (the
+    /// single-file catalog) or [`Self::save_to_dir_scattered`] — the catalog
+    /// is preferred when both are present.
+    ///
+    /// A raw text is read into memory (as before); a packed text is served
+    /// from its store — queries decode only the blocks they touch, and the
+    /// full text is materialized lazily only if [`Self::text`] is called.
     pub fn load_from_dir(dir: impl AsRef<Path>) -> EraResult<SuffixIndex> {
         Self::load_from_dir_with(dir, &EraConfig::default())
     }
@@ -309,40 +479,51 @@ impl SuffixIndex {
     /// text ([`Self::verify`]) before it is returned.
     pub fn load_from_dir_with(dir: impl AsRef<Path>, config: &EraConfig) -> EraResult<SuffixIndex> {
         let dir = dir.as_ref();
-        let tree = PartitionedSuffixTree::load_from_dir(dir)?;
-        let packed_path = dir.join(PACKED_TEXT_FILE);
-        let index = if packed_path.exists() {
-            let store = PackedDiskStore::open(&packed_path, 64 << 10)?;
-            SuffixIndex {
-                alphabet: store.alphabet().clone(),
-                packed: true,
-                backing: TextBacking::Store { store: Arc::new(store), cache: OnceLock::new() },
-                tree,
-                report: ConstructionReport::default(),
-                separators: Vec::new(),
-                cache_bytes: 0,
-                block_cache: None,
-            }
-            .with_cache_bytes(config.cache_bytes)
-        } else {
-            let text = std::fs::read(dir.join(TEXT_FILE))?;
-            let alphabet = load_alphabet(dir, &text)?;
-            SuffixIndex {
-                backing: TextBacking::Memory(Arc::new(text)),
-                tree,
-                report: ConstructionReport::default(),
-                separators: Vec::new(),
-                alphabet,
-                packed: false,
-                cache_bytes: 0,
-                block_cache: None,
-            }
-            .with_cache_bytes(config.cache_bytes)
-        };
-        if config.paranoid {
-            index.verify()?;
+        let catalog_path = dir.join(CATALOG_FILE);
+        if catalog_path.exists() {
+            return Self::open_file_with(&catalog_path, config);
         }
-        Ok(index)
+        let tree = PartitionedSuffixTree::load_from_dir(dir)?;
+        let want = tree.text_len();
+        // Candidate matching: a crash-interrupted scattered save can leave
+        // both text encodings (or a text whose length no longer matches the
+        // tree) behind. Serve the encoding that agrees with the tree and
+        // refuse loudly when none does — silently wrong answers are the one
+        // forbidden outcome.
+        let packed_path = dir.join(PACKED_TEXT_FILE);
+        if packed_path.exists() {
+            let store = PackedDiskStore::open(&packed_path, 64 << 10)?;
+            if store.len() == want {
+                let alphabet = store.alphabet().clone();
+                let backing = TextBacking::Store { store: Arc::new(store), cache: OnceLock::new() };
+                return assemble(backing, tree, alphabet, true, 0, config);
+            }
+            let mismatch = store.len();
+            drop(store);
+            let raw_path = dir.join(TEXT_FILE);
+            if raw_path.exists() {
+                let text = std::fs::read(&raw_path)?;
+                if text.len() == want {
+                    let alphabet = load_alphabet(dir, &text)?;
+                    let backing = TextBacking::Memory(Arc::new(text));
+                    return assemble(backing, tree, alphabet, false, 0, config);
+                }
+            }
+            return Err(EraError::corrupt(format!(
+                "index tree covers {want} symbols but the packed text holds {mismatch} \
+                 (and no matching raw text exists): refusing to serve a mismatched index"
+            )));
+        }
+        let text = std::fs::read(dir.join(TEXT_FILE))?;
+        if text.len() != want {
+            return Err(EraError::corrupt(format!(
+                "index tree covers {want} symbols but the raw text holds {}: refusing to \
+                 serve a mismatched index",
+                text.len()
+            )));
+        }
+        let alphabet = load_alphabet(dir, &text)?;
+        assemble(TextBacking::Memory(Arc::new(text)), tree, alphabet, false, 0, config)
     }
 
     /// Opens a saved index *without materializing the text*: the tree loads
@@ -353,7 +534,9 @@ impl SuffixIndex {
     /// This is the serving-path counterpart of disk-based construction: an
     /// index over a text far larger than RAM can answer `contains`/`count`/
     /// `locate` batches touching only the blocks the traversals need, with
-    /// the I/O visible in [`QueryResponse::stats`].
+    /// the I/O visible in [`QueryResponse::stats`]. It serves the scattered
+    /// layout ([`Self::save_to_dir_scattered`]); serving block-wise straight
+    /// out of a catalog file is a roadmap item.
     pub fn open_mmapless(dir: impl AsRef<Path>) -> EraResult<SuffixIndex> {
         Self::open_mmapless_with(dir, &EraConfig::default())
     }
@@ -364,7 +547,16 @@ impl SuffixIndex {
     /// returning).
     pub fn open_mmapless_with(dir: impl AsRef<Path>, config: &EraConfig) -> EraResult<SuffixIndex> {
         let dir = dir.as_ref();
+        if !dir.join(MANIFEST_FILE).exists() && dir.join(CATALOG_FILE).exists() {
+            return Err(EraError::config(format!(
+                "{} holds a single-file catalog ({CATALOG_FILE}); open_mmapless serves the \
+                 scattered layout — open the catalog with load_from_dir/open_file, or save it \
+                 with save_to_dir_scattered first",
+                dir.display()
+            )));
+        }
         let tree = PartitionedSuffixTree::load_from_dir(dir)?;
+        let want = tree.text_len();
         let packed_path = dir.join(PACKED_TEXT_FILE);
         let (store, alphabet, packed): (Arc<dyn StringStore>, Alphabet, bool) =
             if packed_path.exists() {
@@ -379,21 +571,63 @@ impl SuffixIndex {
                 let store = DiskStore::open(&text_path, alphabet.clone(), 64 << 10)?;
                 (Arc::new(store), alphabet, false)
             };
-        let index = SuffixIndex {
-            backing: TextBacking::Store { store, cache: OnceLock::new() },
-            tree,
-            report: ConstructionReport::default(),
-            separators: Vec::new(),
-            alphabet,
-            packed,
-            cache_bytes: 0,
-            block_cache: None,
+        if store.len() != want {
+            return Err(EraError::corrupt(format!(
+                "index tree covers {want} symbols but the text store holds {}: refusing to \
+                 serve a mismatched index",
+                store.len()
+            )));
         }
-        .with_cache_bytes(config.cache_bytes);
-        if config.paranoid {
-            index.verify()?;
-        }
-        Ok(index)
+        let backing = TextBacking::Store { store, cache: OnceLock::new() };
+        assemble(backing, tree, alphabet, packed, 0, config)
+    }
+}
+
+/// Finishes constructing a loaded/opened index: wires the serving cache and
+/// runs the paranoid deep verification when configured.
+fn assemble(
+    backing: TextBacking,
+    tree: PartitionedSuffixTree,
+    alphabet: Alphabet,
+    packed: bool,
+    generation: u64,
+    config: &EraConfig,
+) -> EraResult<SuffixIndex> {
+    let index = SuffixIndex {
+        backing,
+        tree,
+        report: ConstructionReport::default(),
+        separators: Vec::new(),
+        alphabet,
+        packed,
+        cache_bytes: 0,
+        block_cache: None,
+        generation,
+    }
+    .with_cache_bytes(config.cache_bytes);
+    if config.paranoid {
+        index.verify()?;
+    }
+    Ok(index)
+}
+
+/// Maps a catalog open/parse failure onto [`EraError`]: invalid bytes are
+/// corruption, everything else stays an I/O error.
+fn catalog_error(e: std::io::Error) -> EraError {
+    if e.kind() == std::io::ErrorKind::InvalidData {
+        EraError::corrupt(e.to_string())
+    } else {
+        EraError::Io(e)
+    }
+}
+
+/// Removes `path` through the durability seam, treating "not there" as
+/// success. Returns whether the file existed.
+fn remove_if_present(vfs: &dyn Vfs, path: &Path) -> EraResult<bool> {
+    match vfs.remove_file(path) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(e.into()),
     }
 }
 
@@ -654,6 +888,7 @@ impl SuffixIndexBuilder {
             packed: store.is_packed(),
             cache_bytes: 0,
             block_cache: None,
+            generation: 0,
         }
         .with_cache_bytes(self.config.cache_bytes);
         if self.config.paranoid {
@@ -745,7 +980,7 @@ mod tests {
             .paranoid(true) // deep-verifies the fresh build too
             .build_from_bytes(b"GATTACAGATTACA")
             .unwrap();
-        index.save_to_dir(&dir).unwrap();
+        index.save_to_dir_scattered(&dir).unwrap();
 
         let text_len = index.text().len() as u32;
         let mut flipped = false;
@@ -789,7 +1024,7 @@ mod tests {
         let body = b"GATTACAGATTACAGGATCCGATTACA";
         let index = SuffixIndex::builder().packed(true).build_from_bytes(body).unwrap();
         assert!(index.is_packed());
-        index.save_to_dir(&dir).unwrap();
+        index.save_to_dir_scattered(&dir).unwrap();
         assert!(dir.join(PACKED_TEXT_FILE).exists());
         assert!(!dir.join(TEXT_FILE).exists());
 
@@ -805,7 +1040,7 @@ mod tests {
 
         // Re-saving raw over the same dir replaces the packed file.
         let raw = SuffixIndex::builder().build_from_bytes(body).unwrap();
-        raw.save_to_dir(&dir).unwrap();
+        raw.save_to_dir_scattered(&dir).unwrap();
         assert!(!dir.join(PACKED_TEXT_FILE).exists());
         let reloaded = SuffixIndex::load_from_dir(&dir).unwrap();
         assert!(!reloaded.is_packed());
@@ -819,7 +1054,7 @@ mod tests {
         let body = b"TGGTGGTGGTGCGGTGATGGTGC";
         for packed in [false, true] {
             let built = SuffixIndex::builder().packed(packed).build_from_bytes(body).unwrap();
-            built.save_to_dir(&dir).unwrap();
+            built.save_to_dir_scattered(&dir).unwrap();
             let served = SuffixIndex::open_mmapless(&dir).unwrap();
             assert_eq!(served.is_packed(), packed);
             let store = served.store().expect("mmapless index is store-backed");
@@ -843,7 +1078,7 @@ mod tests {
         let body = b"GATTACAGATTACAGGATCCGATTACAGATTACA";
         let built = SuffixIndex::builder().packed(true).build_from_bytes(body).unwrap();
         assert!(built.block_cache().is_none(), "in-memory indexes serve without a cache");
-        built.save_to_dir(&dir).unwrap();
+        built.save_to_dir_scattered(&dir).unwrap();
         let served = SuffixIndex::open_mmapless(&dir).unwrap();
 
         let batch =
@@ -879,7 +1114,7 @@ mod tests {
         // the streaming inference must recover a usable alphabet.
         let dir = std::env::temp_dir().join(format!("era-index-legacy-{}", std::process::id()));
         let index = SuffixIndex::builder().build_from_bytes(b"abracadabra").unwrap();
-        index.save_to_dir(&dir).unwrap();
+        index.save_to_dir_scattered(&dir).unwrap();
         std::fs::remove_file(dir.join(ALPHABET_FILE)).unwrap();
         let served = SuffixIndex::open_mmapless(&dir).unwrap();
         assert_eq!(served.find_all(b"abra"), index.find_all(b"abra"));
@@ -962,5 +1197,121 @@ mod tests {
         assert!(from_packed.is_packed(), "magic-detected packed files keep the packed encoding");
         assert!(SuffixIndex::builder().build_from_path(&packed_path, Alphabet::protein()).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn catalog_file_roundtrip_preserves_generation_and_encoding() {
+        let path = std::env::temp_dir().join(format!("era-catalog-{}.eracat", std::process::id()));
+        let body = b"GATTACAGATTACAGGATCCGATTACA";
+        for packed in [false, true] {
+            let index = SuffixIndex::builder()
+                .packed(packed)
+                .build_from_bytes(body)
+                .unwrap()
+                .with_generation(7);
+            assert_eq!(index.generation(), 7);
+            index.save_to_file(&path).unwrap();
+            let opened = SuffixIndex::open_file(&path).unwrap();
+            assert_eq!(opened.generation(), 7, "packed={packed}");
+            assert_eq!(opened.is_packed(), packed);
+            assert_eq!(opened.find_all(b"GATTACA"), index.find_all(b"GATTACA"));
+            assert_eq!(opened.count(b"AT"), index.count(b"AT"));
+            assert!(opened.contains(b"GGATCC"));
+            assert_eq!(opened.text(), index.text());
+            // Paranoid open deep-verifies the catalog's tree against its text.
+            let config = EraConfig { paranoid: true, ..EraConfig::default() };
+            SuffixIndex::open_file_with(&path, &config).unwrap();
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn save_to_dir_writes_catalog_and_retires_scattered_artifacts() {
+        let dir = std::env::temp_dir().join(format!("era-index-retire-{}", std::process::id()));
+        let index = SuffixIndex::builder().build_from_bytes(b"abracadabra").unwrap();
+        // Start from the scattered layout, then save the catalog on top.
+        index.save_to_dir_scattered(&dir).unwrap();
+        assert!(dir.join(MANIFEST_FILE).exists());
+        index.save_to_dir(&dir).unwrap();
+        assert!(dir.join(CATALOG_FILE).exists());
+        for stale in [MANIFEST_FILE, TEXT_FILE, PACKED_TEXT_FILE, ALPHABET_FILE, "part-00000.st"] {
+            assert!(!dir.join(stale).exists(), "{stale} must be retired by the catalog save");
+        }
+        let loaded = SuffixIndex::load_from_dir(&dir).unwrap();
+        assert_eq!(loaded.find_all(b"abra"), index.find_all(b"abra"));
+        // And the other direction: a scattered save retires the catalog.
+        index.save_to_dir_scattered(&dir).unwrap();
+        assert!(!dir.join(CATALOG_FILE).exists());
+        assert!(dir.join(MANIFEST_FILE).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_mmapless_refuses_catalog_only_directories() {
+        let dir = std::env::temp_dir().join(format!("era-index-catonly-{}", std::process::id()));
+        let index = SuffixIndex::builder().build_from_bytes(b"abracadabra").unwrap();
+        index.save_to_dir(&dir).unwrap();
+        match SuffixIndex::open_mmapless(&dir) {
+            Err(EraError::Config(msg)) => {
+                assert!(msg.contains("save_to_dir_scattered"), "actionable message, got: {msg}")
+            }
+            other => panic!("expected a config error pointing at the catalog, got {other:?}"),
+        }
+        // load_from_dir serves the same directory fine.
+        assert!(SuffixIndex::load_from_dir(&dir).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scattered_save_crash_points_leave_old_new_or_refused_state() {
+        // Satellite regression for the save ordering fix: crash a scattered
+        // re-save (old index on disk, new index being written) at *every*
+        // fault point. The reopened state must be the old answers, the new
+        // answers, or a clean refusal — never a panic and never a silent
+        // mix (e.g. the old tree served over the new text).
+        use era_string_store::{CrashMode, FaultVfs};
+        let vdir = Path::new("/era-crash-regression");
+        let old_body: &[u8] = b"GATTACAGATTACA";
+        let new_body: &[u8] = b"TGGTGGTGGTGCGGTGATGGTGC";
+        let old = SuffixIndex::builder().build_from_bytes(old_body).unwrap();
+        let new = SuffixIndex::builder().build_from_bytes(new_body).unwrap();
+        let pattern: &[u8] = b"GAT";
+        let (old_hits, new_hits) = (old.find_all(pattern), new.find_all(pattern));
+        assert_ne!(old_hits, new_hits, "the two generations must be distinguishable");
+
+        // Record how many durable operations the re-save needs.
+        let probe = FaultVfs::new();
+        old.save_to_dir_scattered_with(vdir, &probe).unwrap();
+        probe.record();
+        new.save_to_dir_scattered_with(vdir, &probe).unwrap();
+        let total = probe.op_count();
+        assert!(total > 0);
+
+        for mode in [CrashMode::DropUnsynced, CrashMode::TornSector] {
+            for k in 0..total {
+                let vfs = FaultVfs::new();
+                old.save_to_dir_scattered_with(vdir, &vfs).unwrap();
+                vfs.plan_crash(k, mode);
+                let err = new.save_to_dir_scattered_with(vdir, &vfs);
+                assert!(err.is_err(), "crash at op {k} must surface as an error");
+
+                let dst = std::env::temp_dir()
+                    .join(format!("era-crash-reg-{}-{k}-{mode:?}", std::process::id()));
+                vfs.materialize(&dst).unwrap();
+                match SuffixIndex::load_from_dir(&dst) {
+                    Ok(reopened) => {
+                        let hits = reopened.find_all(pattern);
+                        assert!(
+                            (hits == old_hits && reopened.text() == old.text())
+                                || (hits == new_hits && reopened.text() == new.text()),
+                            "crash at op {k} ({mode:?}) served a third state"
+                        );
+                    }
+                    Err(EraError::Corrupt(_)) | Err(EraError::Io(_)) => {}
+                    Err(other) => panic!("crash at op {k} ({mode:?}): unexpected {other:?}"),
+                }
+                std::fs::remove_dir_all(&dst).unwrap();
+            }
+        }
     }
 }

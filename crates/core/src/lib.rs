@@ -88,6 +88,23 @@
 //! `QueryEngine::with_cache`. Per-batch hit/miss/eviction/decoded-byte
 //! counters ride in [`QueryStats`] next to the I/O snapshot.
 //!
+//! ## Persistence: the crash-safe catalog
+//!
+//! A built index persists as a single-file `ERACAT1` **catalog**
+//! ([`SuffixIndex::save_to_file`] / [`SuffixIndex::open_file`], and
+//! [`SuffixIndex::save_to_dir`] which writes `index.eracat` into a
+//! directory): text segment, contiguous flat-tree group segments and a
+//! checksummed footer/TOC, committed atomically — write temp, fsync the
+//! segments, fsync the TOC, rename, fsync the directory — through the
+//! [`Vfs`] durability seam. A crash at any point leaves exactly the old or
+//! the new catalog, a property the `era-check crash-matrix` harness proves
+//! by enumerating every fault point of a recorded save under a
+//! deterministic [`FaultVfs`]. The scattered layout
+//! ([`SuffixIndex::save_to_dir_scattered`]) remains for
+//! [`SuffixIndex::open_mmapless`] disk serving, with each artifact
+//! individually committed and mismatched text/tree combinations refused at
+//! load time.
+//!
 //! ## Hot-path layout: flat serving trees and the SWAR scan
 //!
 //! Construction mutates the Vec-node `SuffixTree` of `era-suffix-tree`; the
@@ -148,7 +165,7 @@ pub mod work_queue;
 
 pub use config::{EraConfig, HorizontalMethod, MemoryLayout, RangePolicy, SchedulerKind};
 pub use error::{EraError, EraResult};
-pub use index::{SuffixIndex, SuffixIndexBuilder};
+pub use index::{SuffixIndex, SuffixIndexBuilder, CATALOG_FILE};
 pub use parallel_sm::construct_parallel_sm;
 pub use parallel_sn::{construct_shared_nothing, SharedNothingOptions};
 pub use pipeline::{
@@ -164,4 +181,6 @@ pub use work_queue::WorkQueue;
 // Re-export the building blocks users commonly need alongside the index.
 pub use era_string_store as string_store;
 pub use era_string_store::{BlockCache, CacheSnapshot};
+pub use era_string_store::{CrashMode, FaultVfs, StdVfs, Vfs};
 pub use era_suffix_tree as suffix_tree;
+pub use era_suffix_tree::CommitProtocol;

@@ -47,6 +47,10 @@
 //! * [`IoStats`] / [`IoSnapshot`] — thread-safe I/O counters.
 //! * [`packed`] — the word-level 2-bit / 5-bit symbol codec underneath the
 //!   packed stores.
+//! * [`vfs`] — the durability seam for write paths: the [`Vfs`] trait with a
+//!   [`StdVfs`] production passthrough and a deterministic fault-injecting
+//!   [`FaultVfs`] used by the crash-matrix harness to prove commit protocols
+//!   crash-safe.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -66,6 +70,7 @@ pub mod stats;
 pub mod store;
 pub mod sync;
 pub mod text_source;
+pub mod vfs;
 
 pub use alphabet::{Alphabet, AlphabetKind, TERMINAL};
 pub use block_cache::{BlockCache, CacheSnapshot, CacheStats, DEFAULT_CACHE_BLOCK_SYMBOLS};
@@ -74,8 +79,9 @@ pub use disk::DiskStore;
 pub use error::{StoreError, StoreResult};
 pub use memory::InMemoryStore;
 pub use packed::{PackedCodec, PackedText};
-pub use packed_store::{PackedDiskStore, PackedMemoryStore};
+pub use packed_store::{builtin_or_custom, encode_packed_file, PackedDiskStore, PackedMemoryStore};
 pub use scanner::{ScanRequest, SequentialScanner};
 pub use stats::{IoSnapshot, IoStats};
 pub use store::StringStore;
 pub use text_source::{StoreTextSource, TextSource, DEFAULT_WINDOW_SYMBOLS};
+pub use vfs::{CrashMode, FaultVfs, StdVfs, Vfs, VfsFile, SECTOR};

@@ -525,9 +525,27 @@ fn write_header<W: Write>(out: &mut W, alphabet: &Alphabet, text_len: usize) -> 
     Ok(())
 }
 
+/// Encodes `body` (the text *without* its terminal) as a complete `ERAP`
+/// packed-file image — header, symbol table, packed payload — in memory.
+///
+/// This is the buffer-building counterpart of [`PackedDiskStore::create`],
+/// for writers that route their bytes through a durability seam (the
+/// [`crate::vfs::Vfs`] commit protocols) instead of `std::fs` directly. An
+/// image written verbatim to a file opens with [`PackedDiskStore::open`].
+pub fn encode_packed_file(body: &[u8], alphabet: &Alphabet) -> StoreResult<Vec<u8>> {
+    let codec = PackedCodec::new(alphabet);
+    let mut out = Vec::with_capacity(
+        HEADER_FIXED + alphabet.len() + packed_size(body.len() + 1, codec.bits()),
+    );
+    write_header(&mut out, alphabet, body.len() + 1)?;
+    let payload = codec.pack_body(body)?;
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
 /// Reconstructs an alphabet from a stored symbol table, preserving the
 /// built-in kind when the symbols match one.
-fn builtin_or_custom(symbols: &[u8]) -> StoreResult<Alphabet> {
+pub fn builtin_or_custom(symbols: &[u8]) -> StoreResult<Alphabet> {
     for builtin in [Alphabet::dna(), Alphabet::protein(), Alphabet::english()] {
         if builtin.symbols() == symbols {
             return Ok(builtin);

@@ -36,6 +36,13 @@
 //! * [`serialize`] — a compact little-endian binary format for storing
 //!   sub-trees on disk: `ERAFLAT1` (16 bytes/node, the serving default) plus
 //!   the legacy `ERASTRE1` construction-form layout, which still loads.
+//! * [`catalog`] — the `ERACAT1` single-file index container: text segment,
+//!   contiguous `ERAFLAT1` group segments and a checksummed footer/TOC,
+//!   committed atomically (write temp → fsync → fsync TOC → rename → dir
+//!   fsync) through the [`Vfs`](era_string_store::Vfs) durability seam, with
+//!   per-group generation numbers as the seam for group-granular incremental
+//!   replace. The crash-matrix harness in `era-check` proves every fault
+//!   point of a save yields exactly the old or the new generation.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -43,6 +50,7 @@
 #![warn(clippy::all)]
 
 pub mod assemble;
+pub mod catalog;
 pub mod layout;
 pub mod naive;
 pub mod node;
@@ -54,6 +62,10 @@ pub mod tree;
 pub mod validate;
 
 pub use assemble::assemble_from_sorted;
+pub use catalog::{
+    commit_catalog, encode_catalog, parse_catalog, save_catalog, write_file_durable, Catalog,
+    CatalogGroup, CatalogText, CommitProtocol, EncodedCatalog, TextSegment,
+};
 pub use layout::{FlatNode, FlatPartition, FlatTree, FLAT_NODE_BYTES};
 pub use naive::naive_suffix_tree;
 pub use node::{Node, NodeData, NodeId, NO_NODE};

@@ -21,6 +21,9 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use era_string_store::Vfs;
+
+use crate::catalog::write_file_durable;
 use crate::layout::{FlatNode, FlatPartition, FlatTree};
 use crate::node::{Node, NodeData, NodeId};
 use crate::partitioned::PartitionedSuffixTree;
@@ -57,12 +60,12 @@ fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
 /// memory as the corresponding bytes actually arrive — `Vec::push` grows
 /// past this cap organically, and a short file errors out in `read_exact`
 /// long before.
-const MAX_PREALLOC: usize = 1 << 20;
+pub(crate) const MAX_PREALLOC: usize = 1 << 20;
 
 /// Ceiling on a manifest partition-prefix length. Partition prefixes are a
 /// handful of symbols by construction; a manifest claiming more is hostile
 /// or corrupt and is rejected rather than allocated.
-const MAX_PREFIX_LEN: usize = 1 << 10;
+pub(crate) const MAX_PREFIX_LEN: usize = 1 << 10;
 
 /// Writes a construction-form tree to any writer (`ERASTRE1`).
 pub fn write_tree<W: Write>(w: &mut W, tree: &SuffixTree) -> io::Result<()> {
@@ -272,19 +275,39 @@ impl Write for CountingWriter {
 impl PartitionedSuffixTree {
     /// Saves the whole index into `dir`: a manifest plus one flat
     /// (`ERAFLAT1`) file per partition sub-tree.
+    ///
+    /// Every file is committed with write-temp → fsync → rename and the
+    /// directory is fsynced at the end, so a crash mid-save never leaves a
+    /// half-written artifact under a final name. For whole-index atomicity
+    /// use the single-file catalog ([`crate::catalog`]) instead.
     pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> io::Result<()> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        let mut manifest = BufWriter::new(File::create(dir.join("manifest.era"))?);
-        manifest.write_all(PART_MAGIC)?;
+        let vfs = era_string_store::StdVfs;
+        self.save_to_dir_with(dir, &vfs)?;
+        era_string_store::Vfs::sync_dir(&vfs, dir)
+    }
+
+    /// [`Self::save_to_dir`] through an explicit [`Vfs`] seam: partition
+    /// files first, the manifest — the scattered layout's commit point —
+    /// last. The caller owns the final [`Vfs::sync_dir`] (and, with
+    /// `StdVfs`, must have created `dir`), so several artifacts can share
+    /// one directory fsync.
+    pub fn save_to_dir_with(&self, dir: &Path, vfs: &dyn Vfs) -> io::Result<()> {
+        for (i, part) in self.partitions().iter().enumerate() {
+            let mut seg = Vec::with_capacity(part.tree.serialized_size());
+            write_flat_tree(&mut seg, &part.tree)?;
+            write_file_durable(vfs, &dir.join(format!("part-{i:05}.st")), &seg)?;
+        }
+        let mut manifest = Vec::new();
+        manifest.extend_from_slice(PART_MAGIC);
         write_u32(&mut manifest, self.text_len() as u32)?;
         write_u32(&mut manifest, self.partitions().len() as u32)?;
-        for (i, part) in self.partitions().iter().enumerate() {
+        for part in self.partitions() {
             write_u32(&mut manifest, part.prefix.len() as u32)?;
-            manifest.write_all(&part.prefix)?;
-            part.tree.save(dir.join(format!("part-{i:05}.st")))?;
+            manifest.extend_from_slice(&part.prefix);
         }
-        manifest.flush()
+        write_file_durable(vfs, &dir.join("manifest.era"), &manifest)
     }
 
     /// Loads an index previously written by [`Self::save_to_dir`].

@@ -49,10 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let encoding = if packed { "packed (2-bit)" } else { "raw (1 byte/symbol)" };
         println!("-- {encoding} --");
 
-        // Build + save; the packed build persists the §6.1 packed file.
+        // Build + save in the scattered layout open_mmapless serves from;
+        // the packed build persists the §6.1 packed file.
         let index =
             SuffixIndex::builder().memory_budget(4 << 20).packed(packed).build_from_bytes(&body)?;
-        index.save_to_dir(&dir)?;
+        index.save_to_dir_scattered(&dir)?;
 
         // Serve without materializing the text: the tree loads into memory,
         // edge labels resolve block-wise from the store. Every engine of the

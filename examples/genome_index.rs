@@ -73,7 +73,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
 
-    // 4. Persist the index and load it back.
+    // 4. Persist the index (as a crash-safe single-file catalog) and load
+    //    it back.
     let index_dir = dir.join("index");
     index.save_to_dir(&index_dir)?;
     let loaded = SuffixIndex::load_from_dir(&index_dir)?;

@@ -1,0 +1,98 @@
+//! Property test: the `ERACAT1` catalog round-trips arbitrary texts across
+//! every store backend, answering byte-identically to the in-memory build
+//! *and* to the scattered directory format.
+//!
+//! The four persistence-relevant backends are exercised: raw and packed
+//! builds, each constructed from memory (`build_from_bytes` →
+//! `InMemoryStore`/`PackedMemoryStore`) and from disk (`build_from_path` →
+//! `DiskStore`/`PackedDiskStore`). For each the index is saved both as a
+//! single-file catalog and in the scattered layout, reopened from both, and
+//! `contains`/`count`/`locate` must agree exactly on every probe.
+
+use era::SuffixIndex;
+use era_string_store::Alphabet;
+use proptest::prelude::*;
+
+/// Arbitrary bodies over small alphabets (repeat-heavy inputs stress the
+/// partitioning and the packed codec hardest). No byte 0: that is the
+/// out-of-band terminal.
+fn body_strategy() -> impl Strategy<Value = Vec<u8>> {
+    let dna = proptest::collection::vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+        1..160,
+    );
+    let binary = proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b')], 1..160);
+    let ascii = proptest::collection::vec(33u8..127u8, 1..100);
+    prop_oneof![dna, binary, ascii]
+}
+
+/// Deterministic probes: substrings at fixed fractions of the body (always
+/// present), plus one pattern guaranteed absent.
+fn probes(body: &[u8]) -> Vec<Vec<u8>> {
+    let mut probes = Vec::new();
+    for (num, den, len) in [(0usize, 1usize, 3usize), (1, 2, 5), (2, 3, 8), (3, 4, 2)] {
+        let start = (body.len() * num / den).min(body.len() - 1);
+        let len = len.min(body.len() - start);
+        probes.push(body[start..start + len].to_vec());
+    }
+    probes.push(vec![1u8, 2, 3]); // never occurs: 1..=3 are not in any alphabet here
+    probes
+}
+
+fn assert_identical_answers(reopened: &SuffixIndex, reference: &SuffixIndex, probes: &[Vec<u8>]) {
+    for probe in probes {
+        assert_eq!(reopened.contains(probe), reference.contains(probe), "probe {probe:?}");
+        assert_eq!(reopened.count(probe), reference.count(probe), "probe {probe:?}");
+        assert_eq!(reopened.find_all(probe), reference.find_all(probe), "probe {probe:?}");
+    }
+    assert_eq!(reopened.text(), reference.text());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn catalog_round_trips_byte_identically_across_backends(
+        body in body_strategy(),
+        packed in any::<bool>(),
+        from_disk in any::<bool>(),
+    ) {
+        let scratch = std::env::temp_dir().join(format!(
+            "era-catalog-prop-{}-{packed}-{from_disk}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&scratch);
+        std::fs::create_dir_all(&scratch).unwrap();
+
+        // Build through the requested backend family.
+        let builder = SuffixIndex::builder().memory_budget(1 << 20).packed(packed);
+        let built = if from_disk {
+            let input = scratch.join("input.era");
+            let mut text = body.clone();
+            text.push(0);
+            std::fs::write(&input, &text).unwrap();
+            builder.build_from_path(&input, Alphabet::infer(&body).unwrap()).unwrap()
+        } else {
+            builder.build_from_bytes(&body).unwrap()
+        };
+        prop_assert_eq!(built.is_packed(), packed);
+        let probes = probes(&body);
+
+        // Single-file catalog round-trip.
+        let catalog = scratch.join("index.eracat");
+        built.save_to_file(&catalog).unwrap();
+        let from_catalog = SuffixIndex::open_file(&catalog).unwrap();
+        prop_assert_eq!(from_catalog.is_packed(), packed);
+        assert_identical_answers(&from_catalog, &built, &probes);
+
+        // Scattered directory round-trip, and catalog vs directory.
+        let dir = scratch.join("scattered");
+        built.save_to_dir_scattered(&dir).unwrap();
+        let from_dir = SuffixIndex::load_from_dir(&dir).unwrap();
+        prop_assert_eq!(from_dir.is_packed(), packed);
+        assert_identical_answers(&from_dir, &built, &probes);
+        assert_identical_answers(&from_catalog, &from_dir, &probes);
+
+        std::fs::remove_dir_all(&scratch).unwrap();
+    }
+}
